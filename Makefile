@@ -1,0 +1,42 @@
+# Convenience targets for the SRUMMA reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench verify repro fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper figure/table.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Cross-algorithm numerical correctness sweep on the real engine.
+verify:
+	$(GO) run ./cmd/srumma-verify
+
+# Regenerate the paper's full evaluation (figures 5-10, Table 1, model,
+# isoefficiency, ablations, memory, block-size sweep, KLAPI projection).
+repro:
+	$(GO) run ./cmd/srumma-bench -all
+
+# Short fuzzing session over the numeric kernels and index math.
+fuzz:
+	$(GO) test -fuzz=FuzzGemmMatchesNaive -fuzztime=30s ./internal/mat
+	$(GO) test -fuzz=FuzzIntersect -fuzztime=15s ./internal/grid
+	$(GO) test -fuzz=FuzzCyclicMapping -fuzztime=15s ./internal/grid
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,74 @@
+// Command srumma-info prints the modeled platform profiles and the
+// analytic predictions of the paper's §2.1 efficiency model for each, so a
+// user can see exactly what machine parameters the reproduction rests on.
+//
+// Usage:
+//
+//	srumma-info                 # all platforms
+//	srumma-info -platform cray-x1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"srumma/internal/bench"
+	"srumma/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("srumma-info: ")
+	name := flag.String("platform", "", "show only this platform")
+	flag.Parse()
+
+	profiles := []machine.Profile{
+		machine.LinuxMyrinet(), machine.IBMSP(), machine.CrayX1(), machine.SGIAltix(),
+	}
+	for _, p := range profiles {
+		if *name != "" && p.Name != *name {
+			continue
+		}
+		show(p)
+	}
+	if *name != "" {
+		if _, err := machine.ByName(*name); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func show(p machine.Profile) {
+	fmt.Printf("platform %s\n", p.Name)
+	fmt.Printf("  topology: %d procs/node", p.ProcsPerNode)
+	if p.DomainSpansMachine {
+		fmt.Printf(", machine-wide shared memory (remote cacheable: %v)", p.RemoteCacheable)
+	}
+	fmt.Println()
+	fmt.Printf("  dgemm: %.2f GFLOP/s asymptotic, surface overhead %.0f flops/elem\n",
+		p.PeakFlops/1e9, p.GemmSurface)
+	fmt.Printf("         rate at 64³: %.2f, 256³: %.2f, 1024³: %.2f GFLOP/s\n",
+		p.GemmRate(64, 64, 64, false)/1e9,
+		p.GemmRate(256, 256, 256, false)/1e9,
+		p.GemmRate(1024, 1024, 1024, false)/1e9)
+	fmt.Printf("  memory: %.1f GB/s port, %.1f GB/s single-copy, %.2f us latency\n",
+		p.MemBW/1e9, p.CopyBW/1e9, p.MemLatency*1e6)
+	fmt.Printf("  network: %.2f GB/s per NIC, %.1f us latency\n", p.NetBW/1e9, p.NetLatency*1e6)
+	fmt.Printf("  RMA: %.1f us get overhead, zero-copy %v", p.RMALatency*1e6, p.ZeroCopy)
+	if !p.ZeroCopy {
+		fmt.Printf(" (staging at %.0f MB/s)", p.HostCopyBW/1e6)
+	}
+	fmt.Println()
+	fmt.Printf("  MPI: %.1f us latency, %.0f MB/s effective, eager threshold %d B\n",
+		p.MPILatency*1e6, p.MPIBW/1e6, p.EagerThreshold)
+
+	fmt.Printf("  model predictions (eq. 1/3), N=2000:\n")
+	fmt.Printf("    %6s %16s %16s\n", "P", "no overlap (s)", "full overlap (s)")
+	for _, procs := range []int{4, 16, 64} {
+		fmt.Printf("    %6d %16.4g %16.4g\n", procs,
+			bench.PredictSRUMMA(p, 2000, procs, false),
+			bench.PredictSRUMMA(p, 2000, procs, true))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,40 @@
+// Platforms: reproduce the paper's headline comparison (Figure 10) in
+// miniature — SRUMMA vs ScaLAPACK-style pdgemm on all four modeled
+// platforms, showing where one-sided communication wins and by how much.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srumma"
+)
+
+func main() {
+	fmt.Println("SRUMMA vs pdgemm on the paper's four platforms (virtual-time models)")
+	fmt.Printf("%-14s %8s %6s %12s %12s %8s\n", "platform", "N", "procs", "SRUMMA GF/s", "pdgemm GF/s", "ratio")
+	for _, platform := range srumma.Platforms() {
+		for _, cfg := range []struct{ n, p int }{
+			{1000, 16},
+			{1000, 64},
+			{4000, 64},
+		} {
+			d := srumma.Dims{M: cfg.n, N: cfg.n, K: cfg.n}
+			sr, err := srumma.Simulate(srumma.SimOptions{Platform: platform, Procs: cfg.p, Dims: d})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pd, err := srumma.Simulate(srumma.SimOptions{
+				Platform: platform, Procs: cfg.p, Dims: d, Algorithm: srumma.AlgPdgemm,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %8d %6d %12.1f %12.1f %8.2f\n",
+				platform, cfg.n, cfg.p, sr.GFLOPS, pd.GFLOPS, sr.GFLOPS/pd.GFLOPS)
+		}
+	}
+	fmt.Println("\nNote how the gap is largest on the shared-memory systems (cray-x1,")
+	fmt.Println("sgi-altix) and grows with the processor count at fixed N — the")
+	fmt.Println("paper's central observation.")
+}

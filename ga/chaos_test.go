@@ -1,0 +1,108 @@
+package ga
+
+// Model-based randomized testing: a random sequence of GA operations is
+// applied both to a distributed Array and to a plain local matrix (the
+// model); after every mutation the two must agree exactly. This shakes out
+// patch/owner arithmetic across uneven blocks, straddling patches and
+// accumulates in a way enumerated cases cannot.
+
+import (
+	"fmt"
+	"testing"
+
+	"srumma/internal/mat"
+)
+
+// chaosRun drives one random sequence. Rank 0 performs the mutations (so
+// the reference stays deterministic); all ranks participate in collectives.
+func chaosRun(t *testing.T, seed uint64, nprocs, ppn, rows, cols, steps int) {
+	t.Helper()
+	err := Run(nprocs, ppn, false, func(e *Env) {
+		a, err := e.Create("chaos", rows, cols)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(0)
+		model := mat.New(rows, cols)
+		rng := mat.NewRNG(seed)
+		for step := 0; step < steps; step++ {
+			if e.Me() == 0 {
+				op := rng.Intn(3)
+				i := rng.Intn(rows)
+				j := rng.Intn(cols)
+				r := 1 + rng.Intn(rows-i)
+				c := 1 + rng.Intn(cols-j)
+				patch := mat.Random(r, c, rng.Uint64())
+				switch op {
+				case 0: // Put
+					if err := a.Put(i, j, patch); err != nil {
+						panic(err)
+					}
+					for ii := 0; ii < r; ii++ {
+						for jj := 0; jj < c; jj++ {
+							model.Set(i+ii, j+jj, patch.At(ii, jj))
+						}
+					}
+				case 1: // Acc
+					alpha := 2*rng.Float64() - 1
+					if err := a.Acc(i, j, alpha, patch); err != nil {
+						panic(err)
+					}
+					for ii := 0; ii < r; ii++ {
+						for jj := 0; jj < c; jj++ {
+							model.Set(i+ii, j+jj, model.At(i+ii, j+jj)+alpha*patch.At(ii, jj))
+						}
+					}
+				case 2: // Get a random patch and compare immediately
+					got, err := a.Get(i, j, r, c)
+					if err != nil {
+						panic(err)
+					}
+					want := model.View(i, j, r, c)
+					if d := mat.MaxAbsDiff(got, want.Clone()); d > 1e-12 {
+						panic(fmt.Sprintf("step %d: Get(%d,%d,%d,%d) diverged by %g", step, i, j, r, c, d))
+					}
+				}
+			}
+			e.Sync()
+		}
+		// Final full comparison on every rank.
+		got, err := a.Get(0, 0, rows, cols)
+		if err != nil {
+			panic(err)
+		}
+		// All ranks must also agree with rank 0's model; broadcast it by
+		// re-deriving: only rank 0 holds the model, so it publishes through
+		// the array itself — the Get above IS the distributed state; ranks
+		// other than 0 cannot check against the model, so only rank 0 does.
+		if e.Me() == 0 {
+			if d := mat.MaxAbsDiff(got, model); d > 1e-12 {
+				panic(fmt.Sprintf("final state diverged by %g", d))
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}
+
+func TestChaosSmall(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		chaosRun(t, seed, 4, 2, 13, 9, 40)
+	}
+}
+
+func TestChaosUnevenGrid(t *testing.T) {
+	chaosRun(t, 99, 6, 2, 17, 23, 40)
+	chaosRun(t, 100, 6, 4, 7, 31, 40)
+}
+
+func TestChaosSingleProc(t *testing.T) {
+	chaosRun(t, 7, 1, 1, 10, 10, 30)
+}
+
+func TestChaosManyProcsSmallArray(t *testing.T) {
+	// More processes than rows: some ranks own empty blocks.
+	chaosRun(t, 11, 9, 3, 5, 5, 25)
+}

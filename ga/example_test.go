@@ -1,0 +1,65 @@
+package ga_test
+
+import (
+	"fmt"
+
+	"srumma/ga"
+)
+
+// Example shows the Global Arrays workflow: create distributed arrays,
+// fill them one-sidedly, multiply with SRUMMA underneath (ga_dgemm), and
+// read the result back.
+func Example() {
+	err := ga.Run(4, 2, false, func(e *ga.Env) {
+		a, _ := e.Create("A", 6, 6)
+		b, _ := e.Create("B", 6, 6)
+		c, _ := e.Create("C", 6, 6)
+		if e.Me() == 0 {
+			diag := ga.NewMatrix(6, 6)
+			for i := 0; i < 6; i++ {
+				diag.Set(i, i, 2)
+			}
+			if err := a.Put(0, 0, diag); err != nil {
+				panic(err)
+			}
+			ones := ga.NewMatrix(6, 6)
+			ones.Fill(1)
+			if err := b.Put(0, 0, ones); err != nil {
+				panic(err)
+			}
+		}
+		e.Sync()
+		if err := c.MatMul(false, false, 1, a, b, 0); err != nil {
+			panic(err)
+		}
+		if e.Me() == 0 {
+			got, _ := c.Get(2, 3, 1, 1)
+			fmt.Println(got.At(0, 0))
+		}
+		e.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: 2
+}
+
+// Example_dot computes a distributed dot product with the whole-array ops.
+func Example_dot() {
+	err := ga.Run(3, 1, false, func(e *ga.Env) {
+		x, _ := e.Create("x", 4, 4)
+		x.Fill(2)
+		d, err := x.Dot(x)
+		if err != nil {
+			panic(err)
+		}
+		if e.Me() == 0 {
+			fmt.Println(d) // 16 elements * 4
+		}
+		e.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: 64
+}

@@ -1,0 +1,299 @@
+package ga
+
+import (
+	"strings"
+	"testing"
+
+	"srumma/internal/mat"
+)
+
+func TestCreateFillGet(t *testing.T) {
+	err := Run(6, 2, false, func(e *Env) {
+		a, err := e.Create("a", 10, 14)
+		if err != nil {
+			panic(err)
+		}
+		defer a.Destroy()
+		a.Fill(2.5)
+		if e.Me() == 0 {
+			m, err := a.Get(0, 0, 10, 14)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < 10; i++ {
+				for j := 0; j < 14; j++ {
+					if m.At(i, j) != 2.5 {
+						t.Errorf("(%d,%d) = %v", i, j, m.At(i, j))
+					}
+				}
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetPatchAcrossBlocks(t *testing.T) {
+	err := Run(4, 2, false, func(e *Env) {
+		a, err := e.Create("a", 12, 12)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(0)
+		if e.Me() == 1 {
+			// A 5x7 patch straddling all four blocks of the 2x2 grid.
+			patch := mat.Indexed(5, 7)
+			if err := a.Put(4, 3, patch); err != nil {
+				panic(err)
+			}
+		}
+		e.Sync()
+		if e.Me() == 2 {
+			got, err := a.Get(4, 3, 5, 7)
+			if err != nil {
+				panic(err)
+			}
+			if !mat.Equal(got, mat.Indexed(5, 7)) {
+				t.Error("patch round trip lost data")
+			}
+			// Outside the patch must still be zero.
+			outside, err := a.Get(0, 0, 4, 3)
+			if err != nil {
+				panic(err)
+			}
+			for _, v := range outside.Data {
+				if v != 0 {
+					t.Error("Put leaked outside the patch")
+					break
+				}
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccIsAtomicAcrossRanks(t *testing.T) {
+	// Every rank accumulates 1.0 into the SAME full-array patch; the result
+	// must be exactly nprocs everywhere.
+	const nprocs = 8
+	err := Run(nprocs, 4, false, func(e *Env) {
+		a, err := e.Create("acc", 9, 9)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(0)
+		ones := mat.New(9, 9)
+		ones.Fill(1)
+		if err := a.Acc(0, 0, 1, ones); err != nil {
+			panic(err)
+		}
+		e.Sync()
+		if e.Me() == 0 {
+			got, err := a.Get(0, 0, 9, 9)
+			if err != nil {
+				panic(err)
+			}
+			for _, v := range got.Data {
+				if v != nprocs {
+					t.Errorf("acc result %v, want %d", v, nprocs)
+					break
+				}
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccWithAlpha(t *testing.T) {
+	err := Run(2, 1, false, func(e *Env) {
+		a, err := e.Create("a", 4, 4)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(1)
+		if e.Me() == 0 {
+			m := mat.New(2, 2)
+			m.Fill(3)
+			if err := a.Acc(1, 1, -2, m); err != nil {
+				panic(err)
+			}
+		}
+		e.Sync()
+		if e.Me() == 1 {
+			got, _ := a.Get(1, 1, 2, 2)
+			for _, v := range got.Data {
+				if v != 1-2*3 {
+					t.Errorf("acc alpha result %v, want -5", v)
+				}
+			}
+			corner, _ := a.Get(0, 0, 1, 1)
+			if corner.At(0, 0) != 1 {
+				t.Error("acc leaked outside patch")
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalBlockStoreLocal(t *testing.T) {
+	err := Run(4, 2, false, func(e *Env) {
+		a, err := e.Create("a", 8, 8)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(0)
+		blk, i, j := a.LocalBlock()
+		for r := 0; r < blk.Rows; r++ {
+			for c := 0; c < blk.Cols; c++ {
+				blk.Set(r, c, float64((i+r)*100+(j+c)))
+			}
+		}
+		if err := a.StoreLocal(blk); err != nil {
+			panic(err)
+		}
+		e.Sync()
+		if e.Me() == 0 {
+			got, _ := a.Get(0, 0, 8, 8)
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					if got.At(r, c) != float64(r*100+c) {
+						t.Fatalf("(%d,%d) = %v", r, c, got.At(r, c))
+					}
+				}
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAgainstSerial(t *testing.T) {
+	const m, n, k = 30, 26, 22
+	aG := mat.Random(m, k, 1)
+	bG := mat.Random(k, n, 2)
+	cInit := mat.Random(m, n, 3)
+	err := Run(6, 2, false, func(e *Env) {
+		a, _ := e.Create("a", m, k)
+		b, _ := e.Create("b", k, n)
+		c, _ := e.Create("c", m, n)
+		if e.Me() == 0 {
+			must(a.Put(0, 0, aG))
+			must(b.Put(0, 0, bG))
+			must(c.Put(0, 0, cInit))
+		}
+		e.Sync()
+		// c = 2*a*b + 0.5*c
+		if err := c.MatMul(false, false, 2, a, b, 0.5); err != nil {
+			panic(err)
+		}
+		if e.Me() == 0 {
+			got, _ := c.Get(0, 0, m, n)
+			want := cInit.Clone()
+			if err := mat.GemmNaive(false, false, 2, aG, bG, 0.5, want); err != nil {
+				panic(err)
+			}
+			if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+				t.Errorf("matmul diff %g", d)
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransposes(t *testing.T) {
+	const m, n, k = 18, 16, 20
+	for _, tc := range []struct{ ta, tb bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+		ar, ac := m, k
+		if tc.ta {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if tc.tb {
+			br, bc = n, k
+		}
+		aG := mat.Random(ar, ac, 5)
+		bG := mat.Random(br, bc, 6)
+		err := Run(4, 2, false, func(e *Env) {
+			a, _ := e.Create("a", ar, ac)
+			b, _ := e.Create("b", br, bc)
+			c, _ := e.Create("c", m, n)
+			if e.Me() == 0 {
+				must(a.Put(0, 0, aG))
+				must(b.Put(0, 0, bG))
+			}
+			e.Sync()
+			c.Fill(0)
+			if err := c.MatMul(tc.ta, tc.tb, 1, a, b, 0); err != nil {
+				panic(err)
+			}
+			if e.Me() == 0 {
+				got, _ := c.Get(0, 0, m, n)
+				want := mat.New(m, n)
+				if err := mat.GemmNaive(tc.ta, tc.tb, 1, aG, bG, 0, want); err != nil {
+					panic(err)
+				}
+				if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+					t.Errorf("ta=%v tb=%v diff %g", tc.ta, tc.tb, d)
+				}
+			}
+			e.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	err := Run(2, 1, false, func(e *Env) {
+		if _, err := e.Create("bad", 0, 4); err == nil {
+			t.Error("Create(0,4) should fail")
+		}
+		a, _ := e.Create("a", 4, 4)
+		if err := a.Put(3, 3, mat.New(2, 2)); err == nil || !strings.Contains(err.Error(), "outside") {
+			t.Errorf("out-of-range Put: %v", err)
+		}
+		if _, err := a.Get(-1, 0, 2, 2); err == nil {
+			t.Error("negative Get should fail")
+		}
+		if err := a.StoreLocal(mat.New(1, 1)); err == nil {
+			t.Error("wrong-shape StoreLocal should fail")
+		}
+		b, _ := e.Create("b", 3, 5)
+		if err := a.MatMul(false, false, 1, b, b, 0); err == nil || !strings.Contains(err.Error(), "conform") {
+			t.Errorf("non-conforming MatMul: %v", err)
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, 1, false, func(*Env) {}); err == nil {
+		t.Fatal("expected error for 0 procs")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

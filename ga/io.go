@@ -1,0 +1,88 @@
+package ga
+
+// Array persistence (the GA file-I/O surface, simplified): Save serializes
+// an array through rank 0, Load fills an existing array from a reader. The
+// format is a small header (magic, version, shape) followed by the values
+// row-major in little-endian IEEE 754. Gathering to rank 0 uses the same
+// one-sided Get path as everything else.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	ioMagic   = 0x47414d41 // "GAMA"
+	ioVersion = 1
+)
+
+// Save writes the array to w. Collective: every rank must call it, but only
+// rank 0 gathers the data (through one-sided Gets) and writes to w, so only
+// rank 0 can observe an I/O error — other ranks always return nil. Check
+// the error on rank 0.
+func (a *Array) Save(w io.Writer) error {
+	var err error
+	if a.e.Me() == 0 {
+		err = a.saveRank0(w)
+	}
+	a.e.Sync()
+	return err
+}
+
+func (a *Array) saveRank0(w io.Writer) error {
+	hdr := []uint64{ioMagic, ioVersion, uint64(a.rows), uint64(a.cols)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("ga: Save %q header: %w", a.name, err)
+	}
+	// Stream row blocks to bound memory: one row stripe at a time.
+	for i := 0; i < a.rows; i++ {
+		row, err := a.Get(i, 0, 1, a.cols)
+		if err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, row.Data); err != nil {
+			return fmt.Errorf("ga: Save %q row %d: %w", a.name, i, err)
+		}
+	}
+	return nil
+}
+
+// Load fills the array from r (written by Save). Collective: every rank
+// must call it; only rank 0 reads r and can observe an error, so check the
+// error on rank 0. The stored shape must match the array's.
+func (a *Array) Load(r io.Reader) error {
+	var err error
+	if a.e.Me() == 0 {
+		err = a.loadRank0(r)
+	}
+	a.e.Sync()
+	return err
+}
+
+func (a *Array) loadRank0(r io.Reader) error {
+	hdr := make([]uint64, 4)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("ga: Load %q header: %w", a.name, err)
+	}
+	if hdr[0] != ioMagic {
+		return fmt.Errorf("ga: Load %q: bad magic %#x", a.name, hdr[0])
+	}
+	if hdr[1] != ioVersion {
+		return fmt.Errorf("ga: Load %q: unsupported version %d", a.name, hdr[1])
+	}
+	if int(hdr[2]) != a.rows || int(hdr[3]) != a.cols {
+		return fmt.Errorf("ga: Load %q: stored shape %dx%d, array is %dx%d",
+			a.name, hdr[2], hdr[3], a.rows, a.cols)
+	}
+	row := NewMatrix(1, a.cols)
+	for i := 0; i < a.rows; i++ {
+		if err := binary.Read(r, binary.LittleEndian, row.Data); err != nil {
+			return fmt.Errorf("ga: Load %q row %d: %w", a.name, i, err)
+		}
+		if err := a.Put(i, 0, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

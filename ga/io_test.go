@@ -1,0 +1,86 @@
+package ga
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"srumma/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := mat.Random(13, 9, 77)
+	// Only rank 0 touches the buffer inside Save/Load, and the two Runs are
+	// sequential, so no extra synchronization is needed.
+	var saved bytes.Buffer
+	err := Run(6, 2, false, func(e *Env) {
+		a, _ := e.Create("a", 13, 9)
+		if e.Me() == 0 {
+			must(a.Put(0, 0, src))
+		}
+		e.Sync()
+		must(a.Save(&saved))
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load into a fresh run (different process count, even).
+	err = Run(4, 2, false, func(e *Env) {
+		b, _ := e.Create("b", 13, 9)
+		b.Fill(0)
+		if err := b.Load(bytes.NewReader(saved.Bytes())); err != nil {
+			panic(err)
+		}
+		if e.Me() == 2 {
+			got, _ := b.Get(0, 0, 13, 9)
+			if !mat.Equal(got, src) {
+				t.Error("save/load round trip lost data")
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	// Load is collective: every rank calls it; the error surfaces on rank 0.
+	err := Run(2, 1, false, func(e *Env) {
+		a, _ := e.Create("a", 4, 4)
+		err := a.Load(bytes.NewReader([]byte("garbage data here, long enough for a header...")))
+		if e.Me() == 0 && err == nil {
+			t.Error("garbage accepted")
+		}
+		err = a.Load(bytes.NewReader(nil))
+		if e.Me() == 0 && err == nil {
+			t.Error("empty input accepted")
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadShapeMismatch(t *testing.T) {
+	var saved bytes.Buffer
+	err := Run(2, 1, false, func(e *Env) {
+		a, _ := e.Create("a", 3, 3)
+		a.Fill(1)
+		must(a.Save(&saved))
+		e.Sync()
+		b, _ := e.Create("b", 4, 4)
+		err := b.Load(bytes.NewReader(saved.Bytes()))
+		if e.Me() == 0 {
+			if err == nil || !strings.Contains(err.Error(), "stored shape") {
+				t.Errorf("shape mismatch not rejected: %v", err)
+			}
+		}
+		e.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

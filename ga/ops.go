@@ -1,0 +1,170 @@
+package ga
+
+// Whole-array operations from the Global Arrays API surface that real GA
+// applications lean on between their ga_dgemm calls: copy, scale, linear
+// combination, dot product, Frobenius norm and distributed transpose. All
+// are collective. Element arithmetic runs on the local blocks; the dot
+// product reduces across ranks with an mp.Allreduce.
+
+import (
+	"fmt"
+	"math"
+
+	"srumma/internal/grid"
+	"srumma/internal/mp"
+	"srumma/internal/redist"
+)
+
+const tagReduce = 8700
+
+// sameShape verifies two arrays share an environment and global shape.
+func sameShape(op string, a, b *Array) error {
+	if a.e != b.e {
+		return fmt.Errorf("ga: %s: arrays %q and %q from different environments", op, a.name, b.name)
+	}
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("ga: %s: %q is %dx%d, %q is %dx%d",
+			op, a.name, a.rows, a.cols, b.name, b.rows, b.cols)
+	}
+	return nil
+}
+
+// group returns all ranks (the collectives operate over the whole world).
+func (e *Env) group() []int {
+	out := make([]int, e.ctx.Size())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Copy sets dst := src (GA_Copy). Collective; both arrays must have the
+// same shape (and therefore the same distribution).
+func (dst *Array) Copy(src *Array) error {
+	if err := sameShape("Copy", dst, src); err != nil {
+		return err
+	}
+	blk, _, _ := src.LocalBlock()
+	if err := dst.StoreLocal(blk); err != nil {
+		return err
+	}
+	dst.e.Sync()
+	return nil
+}
+
+// Scale multiplies every element by alpha (GA_Scale). Collective.
+func (a *Array) Scale(alpha float64) {
+	blk, _, _ := a.LocalBlock()
+	for i := range blk.Data {
+		blk.Data[i] *= alpha
+	}
+	if err := a.StoreLocal(blk); err != nil {
+		panic(err) // shapes came from LocalBlock; mismatch is impossible
+	}
+	a.e.Sync()
+}
+
+// Add sets dst := alpha*x + beta*y (GA_Add). Collective; all three arrays
+// must share a shape. dst may alias x or y.
+func (dst *Array) Add(alpha float64, x *Array, beta float64, y *Array) error {
+	if err := sameShape("Add", dst, x); err != nil {
+		return err
+	}
+	if err := sameShape("Add", dst, y); err != nil {
+		return err
+	}
+	xb, _, _ := x.LocalBlock()
+	yb, _, _ := y.LocalBlock()
+	for i := range xb.Data {
+		xb.Data[i] = alpha*xb.Data[i] + beta*yb.Data[i]
+	}
+	if err := dst.StoreLocal(xb); err != nil {
+		return err
+	}
+	dst.e.Sync()
+	return nil
+}
+
+// Dot returns the elementwise dot product <a, b> (GA_Ddot). Collective;
+// every rank receives the same value. On the sim engine (no data) it
+// returns 0 while still paying the reduction's communication.
+func (a *Array) Dot(b *Array) (float64, error) {
+	if err := sameShape("Dot", a, b); err != nil {
+		return 0, err
+	}
+	ab, _, _ := a.LocalBlock()
+	bb, _, _ := b.LocalBlock()
+	var sum float64
+	for i := range ab.Data {
+		sum += ab.Data[i] * bb.Data[i]
+	}
+	ctx := a.e.ctx
+	buf := ctx.LocalBuf(1)
+	ctx.WriteBuf(buf, 0, []float64{sum})
+	mp.Allreduce(ctx, a.e.group(), buf, 0, 1, tagReduce)
+	out := ctx.ReadBuf(buf, 0, 1)
+	a.e.Sync()
+	if out == nil {
+		return 0, nil
+	}
+	return out[0], nil
+}
+
+// Norm returns the Frobenius norm sqrt(<a, a>). Collective.
+func (a *Array) Norm() (float64, error) {
+	d, err := a.Dot(a)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}
+
+// Apply replaces every element v with fn(v) (GA_Elem-style elementwise
+// map). Collective; fn must be pure and identical on every rank.
+func (a *Array) Apply(fn func(float64) float64) {
+	blk, _, _ := a.LocalBlock()
+	for i := range blk.Data {
+		blk.Data[i] = fn(blk.Data[i])
+	}
+	if err := a.StoreLocal(blk); err != nil {
+		panic(err) // shapes came from LocalBlock; mismatch is impossible
+	}
+	a.e.Sync()
+}
+
+// ElemMultiply sets dst := x .* y elementwise (GA_Elem_multiply).
+// Collective; all three arrays must share a shape.
+func (dst *Array) ElemMultiply(x, y *Array) error {
+	if err := sameShape("ElemMultiply", dst, x); err != nil {
+		return err
+	}
+	if err := sameShape("ElemMultiply", dst, y); err != nil {
+		return err
+	}
+	xb, _, _ := x.LocalBlock()
+	yb, _, _ := y.LocalBlock()
+	for i := range xb.Data {
+		xb.Data[i] *= yb.Data[i]
+	}
+	if err := dst.StoreLocal(xb); err != nil {
+		return err
+	}
+	dst.e.Sync()
+	return nil
+}
+
+// Transpose sets dst := srcᵀ (GA_Transpose) using the distributed
+// transposition substrate. Collective; dst must be cols x rows of src.
+func (dst *Array) Transpose(src *Array) error {
+	if dst.e != src.e {
+		return fmt.Errorf("ga: Transpose: arrays from different environments")
+	}
+	if dst.rows != src.cols || dst.cols != src.rows {
+		return fmt.Errorf("ga: Transpose: %q is %dx%d, need %dx%d for %q transposed",
+			dst.name, dst.rows, dst.cols, src.cols, src.rows, src.name)
+	}
+	ds := grid.NewBlockDist(src.e.g, src.rows, src.cols)
+	dd := grid.NewBlockDist(dst.e.g, dst.rows, dst.cols)
+	redist.TransposeBlock(dst.e.ctx, ds, dd, src.glob, dst.glob)
+	return nil
+}

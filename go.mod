@@ -1,0 +1,3 @@
+module srumma
+
+go 1.22

@@ -1,0 +1,533 @@
+// Package armci is the correctness engine: an ARMCI-like runtime in which
+// every "process" is a goroutine in one address space. Collective memory
+// allocation (ARMCI_Malloc), one-sided Get/Put/NbGet, direct shared-memory
+// access, and a two-sided eager message layer are all implemented with real
+// data movement, so algorithms running on it produce real numerical results
+// that tests compare against serial dgemm.
+//
+// It mirrors the paper's portable implementation layer: ARMCI_Malloc returns
+// the addresses of every rank's segment, ranks in the same shared-memory
+// domain access each other's segments directly, and everything else goes
+// through the (here trivially implemented) get/put calls.
+package armci
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// Run executes body once per rank under topo and returns per-rank stats.
+// Panics inside any rank are recovered and reported as errors with rank
+// context; remaining ranks may then block forever, so Run also fails fast by
+// propagating the first panic after all goroutines finish or the panicking
+// rank is known. (Algorithms under test are deterministic; a panic means a
+// bug, and tests want the message, not a hang.)
+func Run(topo rt.Topology, body func(rt.Ctx)) ([]*rt.Stats, error) {
+	return RunWithTimeout(topo, 0, body)
+}
+
+// RunWithTimeout is Run with a deadlock watchdog: if the SPMD program has
+// not completed within `timeout` (0 = no watchdog), the collectives are
+// aborted and an error names the ranks still running. Aborted ranks unwind
+// through their next barrier or pending receive; a rank blocked outside the
+// runtime cannot be reclaimed (its goroutine leaks until process exit),
+// which the error notes.
+func RunWithTimeout(topo rt.Topology, timeout time.Duration, body func(rt.Ctx)) ([]*rt.Stats, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runtime{
+		topo:    topo,
+		barrier: newBarrier(topo.NProcs),
+		mbox:    newMailbox(),
+		slots:   make(map[int]*collSlot),
+		start:   time.Now(),
+	}
+	stats := make([]*rt.Stats, topo.NProcs)
+	errs := make([]error, topo.NProcs)
+	finished := make([]int32, topo.NProcs)
+	var wg sync.WaitGroup
+	for rank := 0; rank < topo.NProcs; rank++ {
+		c := &ctx{rt: r, rank: rank, stats: &rt.Stats{}}
+		stats[rank] = c.stats
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer atomic.StoreInt32(&finished[c.rank], 1)
+			defer func() {
+				if p := recover(); p != nil {
+					if _, secondary := p.(abortError); secondary {
+						errs[c.rank] = abortError{}
+					} else {
+						errs[c.rank] = fmt.Errorf("armci: rank %d panicked: %v", c.rank, p)
+					}
+					r.barrier.abort()
+					r.mbox.abort()
+				}
+			}()
+			body(c)
+		}()
+	}
+	if timeout > 0 {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			// Abort the collectives so runtime-blocked ranks unwind, give
+			// them a moment, then report whoever is still out there.
+			r.barrier.abort()
+			r.mbox.abort()
+			select {
+			case <-done:
+			case <-time.After(100 * time.Millisecond):
+			}
+			var stuck []int
+			for rank := range finished {
+				if atomic.LoadInt32(&finished[rank]) == 0 {
+					stuck = append(stuck, rank)
+				}
+			}
+			if len(stuck) > 0 {
+				return stats, fmt.Errorf("armci: watchdog fired after %v: ranks %v still running (goroutines leaked until process exit)", timeout, stuck)
+			}
+			return stats, fmt.Errorf("armci: watchdog fired after %v: run was wedged in runtime collectives", timeout)
+		}
+	} else {
+		wg.Wait()
+	}
+	// Prefer the original failure over secondary abort unwinds in other
+	// ranks.
+	var firstAbort error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, secondary := err.(abortError); secondary {
+			if firstAbort == nil {
+				firstAbort = err
+			}
+			continue
+		}
+		return stats, err
+	}
+	return stats, firstAbort
+}
+
+type runtime struct {
+	topo    rt.Topology
+	barrier *barrier
+	mbox    *mailbox
+	start   time.Time
+
+	mu    sync.Mutex
+	slots map[int]*collSlot
+}
+
+// collSlot carries one collective-call exchange: every rank deposits its
+// argument, rank 0 publishes the result.
+type collSlot struct {
+	sizes []int
+	g     *global
+}
+
+func (r *runtime) slot(seq int) *collSlot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &collSlot{sizes: make([]int, r.topo.NProcs)}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *runtime) dropSlot(seq int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.slots, seq)
+}
+
+// buffer is a real float64 buffer.
+type buffer struct {
+	data []float64
+}
+
+func (b *buffer) Len() int { return len(b.data) }
+
+// global is a collectively allocated set of per-rank segments. accMu
+// serializes accumulate operations (ARMCI guarantees Acc atomicity with
+// respect to other Accs on the same array).
+type global struct {
+	id    int
+	segs  []*buffer
+	accMu sync.Mutex
+}
+
+func (g *global) LenAt(rank int) int { return len(g.segs[rank].data) }
+
+// doneHandle is an already-completed nonblocking operation.
+type doneHandle struct{}
+
+func (doneHandle) Done() bool { return true }
+
+// chanHandle completes when ch is closed.
+type chanHandle struct {
+	ch chan struct{}
+}
+
+func (h *chanHandle) Done() bool {
+	select {
+	case <-h.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+type ctx struct {
+	rt      *runtime
+	rank    int
+	stats   *rt.Stats
+	collSeq int
+}
+
+func (c *ctx) Rank() int         { return c.rank }
+func (c *ctx) Size() int         { return c.rt.topo.NProcs }
+func (c *ctx) Topo() rt.Topology { return c.rt.topo }
+func (c *ctx) Now() float64      { return time.Since(c.rt.start).Seconds() }
+func (c *ctx) Stats() *rt.Stats  { return c.stats }
+
+func (c *ctx) Malloc(elems int) rt.Global {
+	if elems < 0 {
+		panic(fmt.Sprintf("armci: Malloc(%d)", elems))
+	}
+	seq := c.collSeq
+	c.collSeq++
+	s := c.rt.slot(seq)
+	s.sizes[c.rank] = elems
+	c.Barrier()
+	if c.rank == 0 {
+		g := &global{id: seq, segs: make([]*buffer, c.Size())}
+		for i, n := range s.sizes {
+			g.segs[i] = &buffer{data: make([]float64, n)}
+		}
+		s.g = g
+	}
+	c.Barrier()
+	g := s.g
+	if c.rank == 0 {
+		c.rt.dropSlot(seq)
+	}
+	return g
+}
+
+func (c *ctx) Free(g rt.Global) {
+	// Real memory is garbage collected; Free only keeps the collective
+	// call-sequence aligned across engines.
+	c.collSeq++
+	c.Barrier()
+}
+
+func (c *ctx) LocalBuf(elems int) rt.Buffer {
+	c.stats.ScratchBytes += int64(elems) * 8
+	return &buffer{data: make([]float64, elems)}
+}
+
+func (c *ctx) Local(g rt.Global) rt.Buffer {
+	return g.(*global).segs[c.rank]
+}
+
+func (c *ctx) CanDirect(rank int) bool {
+	return c.rt.topo.SameDomain(c.rank, rank)
+}
+
+func (c *ctx) Direct(g rt.Global, rank int) rt.Buffer {
+	if !c.CanDirect(rank) {
+		panic(fmt.Sprintf("armci: rank %d cannot direct-access rank %d (different domains)", c.rank, rank))
+	}
+	return g.(*global).segs[rank]
+}
+
+func (c *ctx) get(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) {
+	src := g.(*global).segs[rank].data
+	d := dst.(*buffer).data
+	if off < 0 || off+n > len(src) || dstOff < 0 || dstOff+n > len(d) {
+		panic(fmt.Sprintf("armci: Get range [%d,%d) of %d -> [%d,%d) of %d",
+			off, off+n, len(src), dstOff, dstOff+n, len(d)))
+	}
+	copy(d[dstOff:dstOff+n], src[off:off+n])
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += int64(n) * 8
+		c.stats.GetsShared++
+	} else {
+		c.stats.BytesRemote += int64(n) * 8
+		c.stats.GetsRemote++
+	}
+}
+
+func (c *ctx) Get(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) {
+	c.get(g, rank, off, n, dst, dstOff)
+}
+
+func (c *ctx) NbGet(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) rt.Handle {
+	// In a single address space the copy is the whole operation; completing
+	// it eagerly satisfies the nonblocking contract (Wait is a no-op).
+	c.get(g, rank, off, n, dst, dstOff)
+	return doneHandle{}
+}
+
+func (c *ctx) NbGetSub(g rt.Global, rank, off, ld, rows, cols int, dst rt.Buffer, dstOff int) rt.Handle {
+	src := g.(*global).segs[rank].data
+	d := dst.(*buffer).data
+	if rows < 0 || cols < 0 || ld < cols || off < 0 {
+		panic(fmt.Sprintf("armci: NbGetSub malformed region %dx%d ld=%d off=%d", rows, cols, ld, off))
+	}
+	if rows > 0 && cols > 0 {
+		if last := off + (rows-1)*ld + cols; last > len(src) {
+			panic(fmt.Sprintf("armci: NbGetSub region ends at %d of %d", last, len(src)))
+		}
+	}
+	if dstOff < 0 || dstOff+rows*cols > len(d) {
+		panic(fmt.Sprintf("armci: NbGetSub dst [%d,%d) of %d", dstOff, dstOff+rows*cols, len(d)))
+	}
+	for r := 0; r < rows; r++ {
+		copy(d[dstOff+r*cols:dstOff+(r+1)*cols], src[off+r*ld:off+r*ld+cols])
+	}
+	n := int64(rows*cols) * 8
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += n
+		c.stats.GetsShared++
+	} else {
+		c.stats.BytesRemote += n
+		c.stats.GetsRemote++
+	}
+	return doneHandle{}
+}
+
+func (c *ctx) Put(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) {
+	s := src.(*buffer).data
+	d := g.(*global).segs[rank].data
+	if srcOff < 0 || srcOff+n > len(s) || off < 0 || off+n > len(d) {
+		panic(fmt.Sprintf("armci: Put range [%d,%d) of %d -> [%d,%d) of %d",
+			srcOff, srcOff+n, len(s), off, off+n, len(d)))
+	}
+	copy(d[off:off+n], s[srcOff:srcOff+n])
+	c.stats.Puts++
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += int64(n) * 8
+	} else {
+		c.stats.BytesRemote += int64(n) * 8
+	}
+}
+
+func (c *ctx) NbPut(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) rt.Handle {
+	// Single address space: the copy completes eagerly, like NbGet.
+	c.Put(src, srcOff, n, g, rank, off)
+	return doneHandle{}
+}
+
+func (c *ctx) NbPutSub(src rt.Buffer, srcOff int, g rt.Global, rank, off, ld, rows, cols int) rt.Handle {
+	s := src.(*buffer).data
+	d := g.(*global).segs[rank].data
+	if rows < 0 || cols < 0 || ld < cols || off < 0 {
+		panic(fmt.Sprintf("armci: NbPutSub malformed region %dx%d ld=%d off=%d", rows, cols, ld, off))
+	}
+	if rows > 0 && cols > 0 {
+		if last := off + (rows-1)*ld + cols; last > len(d) {
+			panic(fmt.Sprintf("armci: NbPutSub region ends at %d of %d", last, len(d)))
+		}
+	}
+	if srcOff < 0 || srcOff+rows*cols > len(s) {
+		panic(fmt.Sprintf("armci: NbPutSub src [%d,%d) of %d", srcOff, srcOff+rows*cols, len(s)))
+	}
+	for r := 0; r < rows; r++ {
+		copy(d[off+r*ld:off+r*ld+cols], s[srcOff+r*cols:srcOff+(r+1)*cols])
+	}
+	bytes := int64(rows*cols) * 8
+	c.stats.Puts++
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += bytes
+	} else {
+		c.stats.BytesRemote += bytes
+	}
+	return doneHandle{}
+}
+
+func (c *ctx) Acc(alpha float64, src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) {
+	gg := g.(*global)
+	s := src.(*buffer).data
+	d := gg.segs[rank].data
+	if srcOff < 0 || srcOff+n > len(s) || off < 0 || off+n > len(d) {
+		panic(fmt.Sprintf("armci: Acc range [%d,%d) of %d -> [%d,%d) of %d",
+			srcOff, srcOff+n, len(s), off, off+n, len(d)))
+	}
+	gg.accMu.Lock()
+	for i := 0; i < n; i++ {
+		d[off+i] += alpha * s[srcOff+i]
+	}
+	gg.accMu.Unlock()
+	c.stats.Puts++
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += int64(n) * 8
+	} else {
+		c.stats.BytesRemote += int64(n) * 8
+	}
+}
+
+func (c *ctx) FetchAdd(g rt.Global, rank, off int, delta float64) float64 {
+	gg := g.(*global)
+	d := gg.segs[rank].data
+	if off < 0 || off >= len(d) {
+		panic(fmt.Sprintf("armci: FetchAdd offset %d of %d", off, len(d)))
+	}
+	gg.accMu.Lock()
+	old := d[off]
+	d[off] = old + delta
+	gg.accMu.Unlock()
+	c.stats.Puts++
+	if c.rt.topo.SameDomain(c.rank, rank) {
+		c.stats.BytesShared += 8
+	} else {
+		c.stats.BytesRemote += 8
+	}
+	return old
+}
+
+func (c *ctx) Wait(h rt.Handle) {
+	switch v := h.(type) {
+	case doneHandle:
+	case *chanHandle:
+		t0 := time.Now()
+		<-v.ch
+		c.stats.WaitTime += time.Since(t0).Seconds()
+	default:
+		panic(fmt.Sprintf("armci: Wait on foreign handle %T", h))
+	}
+}
+
+func (c *ctx) Send(to, tag int, src rt.Buffer, off, n int) {
+	s := src.(*buffer).data
+	if off < 0 || off+n > len(s) {
+		panic(fmt.Sprintf("armci: Send range [%d,%d) of %d", off, off+n, len(s)))
+	}
+	c.stats.Msgs++
+	c.stats.MsgBytes += int64(n) * 8
+	c.rt.mbox.send(msgKey{c.rank, to, tag}, s[off:off+n])
+}
+
+func (c *ctx) Isend(to, tag int, src rt.Buffer, off, n int) rt.Handle {
+	// The eager mailbox buffers the payload, so the send completes locally.
+	c.Send(to, tag, src, off, n)
+	return doneHandle{}
+}
+
+func (c *ctx) Irecv(from, tag int, dst rt.Buffer, off, n int) rt.Handle {
+	d := dst.(*buffer).data
+	if off < 0 || off+n > len(d) {
+		panic(fmt.Sprintf("armci: Irecv range [%d,%d) of %d", off, off+n, len(d)))
+	}
+	return c.rt.mbox.recv(msgKey{from, c.rank, tag}, d[off:off+n])
+}
+
+func (c *ctx) Recv(from, tag int, dst rt.Buffer, off, n int) {
+	c.Wait(c.Irecv(from, tag, dst, off, n))
+}
+
+func (c *ctx) Barrier() {
+	t0 := time.Now()
+	c.rt.barrier.await()
+	c.stats.BarrierTime += time.Since(t0).Seconds()
+}
+
+func (c *ctx) matView(m rt.Mat) *mat.Matrix {
+	if err := m.Valid(); err != nil {
+		panic(err)
+	}
+	b := m.Buf.(*buffer)
+	end := m.Off
+	if m.Rows > 0 && m.Cols > 0 {
+		end = m.Off + (m.Rows-1)*m.LD + m.Cols
+	}
+	return &mat.Matrix{Rows: m.Rows, Cols: m.Cols, Stride: m.LD, Data: b.data[m.Off:end]}
+}
+
+func (c *ctx) Gemm(alpha float64, a, b rt.Mat, beta float64, cm rt.Mat) {
+	t0 := time.Now()
+	am, bm, cmm := c.matView(a), c.matView(b), c.matView(cm)
+	if err := mat.Gemm(a.Trans, b.Trans, alpha, am, bm, beta, cmm); err != nil {
+		panic(fmt.Sprintf("armci: Gemm: %v", err))
+	}
+	m, _ := a.OpShape()
+	_, n := b.OpShape()
+	k := a.Cols
+	if a.Trans {
+		k = a.Rows
+	}
+	c.stats.Flops += 2 * float64(m) * float64(n) * float64(k)
+	c.stats.ComputeTime += time.Since(t0).Seconds()
+}
+
+func (c *ctx) Pack(src rt.Mat, dst rt.Buffer, dstOff int) {
+	t0 := time.Now()
+	sm := c.matView(src)
+	d := dst.(*buffer).data
+	need := src.Rows * src.Cols
+	if dstOff < 0 || dstOff+need > len(d) {
+		panic(fmt.Sprintf("armci: Pack needs [%d,%d) of %d", dstOff, dstOff+need, len(d)))
+	}
+	mat.PackInto(d[dstOff:dstOff+need], sm, 0, 0, src.Rows, src.Cols)
+	c.stats.PackTime += time.Since(t0).Seconds()
+}
+
+func (c *ctx) Unpack(src rt.Buffer, srcOff int, dst rt.Mat) {
+	t0 := time.Now()
+	dm := c.matView(dst)
+	s := src.(*buffer).data
+	need := dst.Rows * dst.Cols
+	if srcOff < 0 || srcOff+need > len(s) {
+		panic(fmt.Sprintf("armci: Unpack needs [%d,%d) of %d", srcOff, srcOff+need, len(s)))
+	}
+	mat.UnpackFrom(dm, s[srcOff:srcOff+need], 0, 0, dst.Rows, dst.Cols)
+	c.stats.PackTime += time.Since(t0).Seconds()
+}
+
+func (c *ctx) UnpackTranspose(src rt.Buffer, srcOff int, dst rt.Mat) {
+	t0 := time.Now()
+	dm := c.matView(dst)
+	s := src.(*buffer).data
+	need := dst.Rows * dst.Cols
+	if srcOff < 0 || srcOff+need > len(s) {
+		panic(fmt.Sprintf("armci: UnpackTranspose needs [%d,%d) of %d", srcOff, srcOff+need, len(s)))
+	}
+	mat.UnpackTransposeFrom(dm, s[srcOff:srcOff+need], 0, 0, dst.Rows, dst.Cols)
+	c.stats.PackTime += time.Since(t0).Seconds()
+}
+
+func (c *ctx) WriteBuf(dst rt.Buffer, off int, vals []float64) {
+	d := dst.(*buffer).data
+	if off < 0 || off+len(vals) > len(d) {
+		panic(fmt.Sprintf("armci: WriteBuf range [%d,%d) of %d", off, off+len(vals), len(d)))
+	}
+	copy(d[off:], vals)
+}
+
+func (c *ctx) ReadBuf(src rt.Buffer, off, n int) []float64 {
+	s := src.(*buffer).data
+	if off < 0 || off+n > len(s) {
+		panic(fmt.Sprintf("armci: ReadBuf range [%d,%d) of %d", off, off+n, len(s)))
+	}
+	out := make([]float64, n)
+	copy(out, s[off:off+n])
+	return out
+}
+
+var _ rt.Ctx = (*ctx)(nil)

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"srumma/internal/core"
+)
+
+func TestRatioBar(t *testing.T) {
+	for _, tc := range []struct {
+		ratio float64
+		want  string
+	}{
+		{0, "|"},
+		{0.5, "#|"},
+		{1.0, "##|"},
+		{2.0, "##|##"},
+		{23.1, "##|" + strings.Repeat("#", 22)},
+	} {
+		if got := ratioBar(tc.ratio); got != tc.want {
+			t.Errorf("ratioBar(%g) = %q, want %q", tc.ratio, got, tc.want)
+		}
+	}
+}
+
+func TestFormattersProduceTables(t *testing.T) {
+	// Smoke the printers over tiny synthetic rows: headers present, one
+	// line per row, no panics on edge values.
+	f10 := FormatFig10([]Fig10Row{{Platform: "x", N: 1, Procs: 2, SRUMMA: 3, Pdgemm: 0}})
+	if !strings.Contains(f10, "Figure 10") || strings.Count(f10, "\n") != 3 {
+		t.Errorf("fig10 table malformed:\n%s", f10)
+	}
+	f5 := FormatFig5([]Fig5Row{{Platform: "x", Case: core.NN, Flavor: core.FlavorCopy, GFLOPS: 1}})
+	if !strings.Contains(f5, "copy") {
+		t.Errorf("fig5 table malformed:\n%s", f5)
+	}
+	f9 := FormatFig9([]Fig9Row{{N: 10, ZeroCopy: true, NonBlocking: true, GFLOPS: 5}})
+	if !strings.Contains(f9, "nb+zcopy") {
+		t.Errorf("fig9 table malformed:\n%s", f9)
+	}
+	t1 := FormatTable1([]Table1Row{{Label: "lbl", Dims: core.Dims{M: 1, N: 1, K: 1}, Procs: 4, SRUMMA: 2, Pdgemm: 1}})
+	if !strings.Contains(t1, "lbl") {
+		t.Errorf("table1 malformed:\n%s", t1)
+	}
+	ab := FormatAblations([]AblationRow{{Name: "thing", Full: 10, Ablated: 5}})
+	if !strings.Contains(ab, "50.0") {
+		t.Errorf("ablation table malformed:\n%s", ab)
+	}
+	kl := FormatKLAPI([]KLAPIRow{{N: 1, Procs: 2, LAPI: 10, KLAPI: 11}})
+	if !strings.Contains(kl, "10.0") {
+		t.Errorf("klapi table malformed:\n%s", kl)
+	}
+	bw := FormatBandwidth("t", map[string][]BandwidthPoint{"s": {{Bytes: 8, MBps: 1}}}, []string{"s"})
+	if !strings.Contains(bw, "8") {
+		t.Errorf("bandwidth table malformed:\n%s", bw)
+	}
+	ov := FormatOverlap("t", map[string][]OverlapPoint{"s": {{Bytes: 8, OverlapPct: 50}}}, []string{"s"})
+	if !strings.Contains(ov, "50.0") {
+		t.Errorf("overlap table malformed:\n%s", ov)
+	}
+	mm := FormatMemory(10, 2, []MemoryRow{{Alg: "a", Case: core.NN, ScratchPerRank: 1000, OperandsPerRank: 2000}})
+	if !strings.Contains(mm, "50.0") {
+		t.Errorf("memory table malformed:\n%s", mm)
+	}
+	bs := FormatBlockSize(machineLinux(), 10, 2, []BlockSizeRow{{MaxTaskK: 0, GFLOPS: 1, ScratchPerRank: 1024}})
+	if !strings.Contains(bs, "full") {
+		t.Errorf("blocksize table malformed:\n%s", bs)
+	}
+}
+
+func TestRowsSerializeToJSON(t *testing.T) {
+	// The -json mode of srumma-bench marshals these row types; lock in
+	// that they serialize with their field names intact.
+	rows := map[string]any{
+		"fig5":      []Fig5Row{{Platform: "p", GFLOPS: 1}},
+		"fig9":      []Fig9Row{{N: 1, ZeroCopy: true, GFLOPS: 2}},
+		"fig10":     []Fig10Row{{Platform: "p", N: 1, Procs: 2, SRUMMA: 3, Pdgemm: 4}},
+		"table1":    []Table1Row{{Label: "l"}},
+		"ablations": []AblationRow{{Name: "n", Full: 1, Ablated: 2}},
+		"klapi":     []KLAPIRow{{N: 1}},
+		"memory":    []MemoryRow{{Alg: "a"}},
+		"blocksize": []BlockSizeRow{{MaxTaskK: 8}},
+		"model":     []ModelRow{{N: 1, P: 2}},
+		"iso":       []IsoRow{{P: 1, N: 2, Efficiency: 0.5}},
+		"comm":      []BandwidthPoint{{Bytes: 8, MBps: 9}},
+		"overlap":   []OverlapPoint{{Bytes: 8, OverlapPct: 50}},
+	}
+	out, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"SRUMMA", "Pdgemm", "GFLOPS", "OverlapPct", "MBps", "MaxTaskK", "Efficiency"} {
+		if !strings.Contains(string(out), field) {
+			t.Errorf("field %s missing from JSON", field)
+		}
+	}
+}
+
+func TestFig10MiniSweepAndFormat(t *testing.T) {
+	sweeps := []Fig10Sweep{{Profile: machineLinux(), Ns: []int{600}, Procs: []int{4, 16}}}
+	rows, err := Fig10(sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatFig10(rows)
+	if !strings.Contains(out, "linux-myrinet") || !strings.Contains(out, "|") {
+		t.Errorf("format missing content:\n%s", out)
+	}
+	// The default sweeps must cover all four paper platforms at the
+	// paper's top processor counts.
+	def := DefaultFig10Sweeps()
+	if len(def) != 4 {
+		t.Fatalf("default sweeps = %d", len(def))
+	}
+	maxProcs := 0
+	for _, sw := range def {
+		for _, p := range sw.Procs {
+			if p > maxProcs {
+				maxProcs = p
+			}
+		}
+	}
+	if maxProcs != 256 {
+		t.Errorf("default sweeps top out at %d procs, want 256 (IBM SP)", maxProcs)
+	}
+}
+
+func TestModelAndIsoFormatters(t *testing.T) {
+	prof := machineLinux()
+	m := FormatModel(prof, []ModelRow{{N: 1, P: 2, Predicted: 0.5, PredictedNoOverlap: 0.6, Simulated: 0.55, Efficiency: 0.9}})
+	if !strings.Contains(m, "0.9") || !strings.Contains(m, prof.Name) {
+		t.Errorf("model table malformed:\n%s", m)
+	}
+	iso := FormatIso(prof, 500, []IsoRow{{P: 4, N: 1000, Efficiency: 0.8}})
+	if !strings.Contains(iso, "0.80") {
+		t.Errorf("iso table malformed:\n%s", iso)
+	}
+}

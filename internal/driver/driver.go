@@ -1,0 +1,107 @@
+// Package driver holds the harness glue shared by tests, examples and
+// benchmarks: allocating distributed operands, loading real input matrices
+// into them on the real engine, and extracting local blocks for gathering.
+// These helpers sit outside the performance model (they use the zero-cost
+// WriteBuf/ReadBuf accessors).
+package driver
+
+import (
+	"fmt"
+
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// AllocBlock collectively allocates a Global matching a block distribution:
+// each rank's segment is its (rows x cols) block, tight row-major.
+func AllocBlock(c rt.Ctx, d *grid.BlockDist) rt.Global {
+	r, cc := d.LocalShape(c.Rank())
+	return c.Malloc(r * cc)
+}
+
+// AllocCyclic collectively allocates a Global matching a block-cyclic
+// distribution.
+func AllocCyclic(c rt.Ctx, d *grid.CyclicDist) rt.Global {
+	r, cc := d.LocalShape(c.Rank())
+	return c.Malloc(r * cc)
+}
+
+// LoadBlock writes this rank's block of the global matrix into its segment
+// of g. On the sim engine it is a size check only.
+func LoadBlock(c rt.Ctx, d *grid.BlockDist, g rt.Global, global *mat.Matrix) {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		panic(fmt.Sprintf("driver: LoadBlock matrix %dx%d vs distribution %dx%d",
+			global.Rows, global.Cols, d.Rows, d.Cols))
+	}
+	pr, pc := d.G.Coords(c.Rank())
+	r, cc := d.BlockShape(pr, pc)
+	i, j := d.BlockOrigin(pr, pc)
+	buf := make([]float64, r*cc)
+	mat.PackInto(buf, global, i, j, r, cc)
+	c.WriteBuf(c.Local(g), 0, buf)
+}
+
+// LoadCyclic writes this rank's block-cyclic local array of the global
+// matrix into its segment of g.
+func LoadCyclic(c rt.Ctx, d *grid.CyclicDist, g rt.Global, global *mat.Matrix) {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		panic(fmt.Sprintf("driver: LoadCyclic matrix %dx%d vs distribution %dx%d",
+			global.Rows, global.Cols, d.Rows, d.Cols))
+	}
+	pr, pc := d.G.Coords(c.Rank())
+	lr, lc := d.LocalShape(c.Rank())
+	buf := make([]float64, lr*lc)
+	for i := 0; i < d.Rows; i++ {
+		owner, li := grid.GlobalToLocal(i, d.NB, d.G.P)
+		if owner != pr {
+			continue
+		}
+		for j := 0; j < d.Cols; j++ {
+			ownerC, lj := grid.GlobalToLocal(j, d.NB, d.G.Q)
+			if ownerC != pc {
+				continue
+			}
+			buf[li*lc+lj] = global.Data[i*global.Stride+j]
+		}
+	}
+	c.WriteBuf(c.Local(g), 0, buf)
+}
+
+// StoreBlock reads this rank's segment of g back as a matrix (the local
+// block). On the sim engine it returns a zero matrix of the right shape.
+func StoreBlock(c rt.Ctx, d *grid.BlockDist, g rt.Global) *mat.Matrix {
+	r, cc := d.LocalShape(c.Rank())
+	out := mat.New(r, cc)
+	if data := c.ReadBuf(c.Local(g), 0, r*cc); data != nil {
+		copy(out.Data, data)
+	}
+	return out
+}
+
+// StoreCyclic reads this rank's block-cyclic segment back as a local array.
+func StoreCyclic(c rt.Ctx, d *grid.CyclicDist, g rt.Global) *mat.Matrix {
+	r, cc := d.LocalShape(c.Rank())
+	out := mat.New(r, cc)
+	if data := c.ReadBuf(c.Local(g), 0, r*cc); data != nil {
+		copy(out.Data, data)
+	}
+	return out
+}
+
+// Collect is a test/example convenience: ranks deposit their local result
+// blocks into a shared slice (indexed by rank, so concurrent writes are
+// race-free) which the caller gathers after the run.
+type Collect struct {
+	Blocks []*mat.Matrix
+}
+
+// NewCollect sizes the collection for nprocs ranks.
+func NewCollect(nprocs int) *Collect {
+	return &Collect{Blocks: make([]*mat.Matrix, nprocs)}
+}
+
+// Deposit stores rank's block.
+func (co *Collect) Deposit(c rt.Ctx, m *mat.Matrix) {
+	co.Blocks[c.Rank()] = m
+}

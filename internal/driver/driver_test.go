@@ -1,0 +1,94 @@
+package driver
+
+import (
+	"testing"
+
+	"srumma/internal/armci"
+	"srumma/internal/grid"
+	"srumma/internal/machine"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+	"srumma/internal/simrt"
+)
+
+func TestLoadStoreBlockRoundTrip(t *testing.T) {
+	g, _ := grid.New(2, 3)
+	d := grid.NewBlockDist(g, 11, 13)
+	global := mat.Indexed(11, 13)
+	co := NewCollect(6)
+	topo := rt.Topology{NProcs: 6, ProcsPerNode: 2}
+	_, err := armci.Run(topo, func(c rt.Ctx) {
+		ga := AllocBlock(c, d)
+		LoadBlock(c, d, ga, global)
+		co.Deposit(c, StoreBlock(c, d, ga))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(global, back) {
+		t.Fatal("block round trip lost data")
+	}
+}
+
+func TestLoadStoreCyclicRoundTrip(t *testing.T) {
+	g, _ := grid.New(2, 2)
+	d, err := grid.NewCyclicDist(g, 10, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := mat.Indexed(10, 9)
+	co := NewCollect(4)
+	topo := rt.Topology{NProcs: 4, ProcsPerNode: 2}
+	_, err = armci.Run(topo, func(c rt.Ctx) {
+		ga := AllocCyclic(c, d)
+		LoadCyclic(c, d, ga, global)
+		co.Deposit(c, StoreCyclic(c, d, ga))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(global, back) {
+		t.Fatal("cyclic round trip lost data")
+	}
+}
+
+func TestLoadBlockShapeMismatchPanics(t *testing.T) {
+	g, _ := grid.New(2, 2)
+	d := grid.NewBlockDist(g, 8, 8)
+	topo := rt.Topology{NProcs: 4, ProcsPerNode: 2}
+	_, err := armci.Run(topo, func(c rt.Ctx) {
+		ga := AllocBlock(c, d)
+		LoadBlock(c, d, ga, mat.New(9, 8))
+	})
+	if err == nil {
+		t.Fatal("expected shape panic")
+	}
+}
+
+func TestHelpersOnSimEngine(t *testing.T) {
+	// On the sim engine the loads are size checks and stores return zero
+	// matrices of the right shape.
+	g, _ := grid.New(2, 2)
+	d := grid.NewBlockDist(g, 8, 8)
+	global := mat.Indexed(8, 8)
+	_, err := simrt.Run(machine.LinuxMyrinet(), 4, func(c rt.Ctx) {
+		ga := AllocBlock(c, d)
+		LoadBlock(c, d, ga, global)
+		out := StoreBlock(c, d, ga)
+		r, cc := d.LocalShape(c.Rank())
+		if out.Rows != r || out.Cols != cc {
+			panic("sim StoreBlock shape wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package grid
+
+import (
+	"fmt"
+
+	"srumma/internal/mat"
+)
+
+// BlockDist is the regular two-dimensional block distribution the paper
+// assumes for SRUMMA (Figure 2): an m x n matrix on a P x Q grid, with rows
+// split into P near-equal chunks and columns into Q near-equal chunks, one
+// block per process.
+type BlockDist struct {
+	G          *Grid
+	Rows, Cols int
+	RowChunks  []Chunk // length G.P
+	ColChunks  []Chunk // length G.Q
+}
+
+// NewBlockDist builds the block distribution of an rows x cols matrix over g.
+func NewBlockDist(g *Grid, rows, cols int) *BlockDist {
+	return &BlockDist{
+		G:         g,
+		Rows:      rows,
+		Cols:      cols,
+		RowChunks: BlockPartition(rows, g.P),
+		ColChunks: BlockPartition(cols, g.Q),
+	}
+}
+
+// BlockShape returns the local block shape of the process at grid position
+// (pr, pc).
+func (d *BlockDist) BlockShape(pr, pc int) (r, c int) {
+	return d.RowChunks[pr].N, d.ColChunks[pc].N
+}
+
+// BlockOrigin returns the global (row, col) of the top-left element of the
+// block at grid position (pr, pc).
+func (d *BlockDist) BlockOrigin(pr, pc int) (i, j int) {
+	return d.RowChunks[pr].Lo, d.ColChunks[pc].Lo
+}
+
+// OwnerOf returns the rank owning global element (i, j).
+func (d *BlockDist) OwnerOf(i, j int) int {
+	pr := PartitionOf(d.Rows, d.G.P, i)
+	pc := PartitionOf(d.Cols, d.G.Q, j)
+	return d.G.Rank(pr, pc)
+}
+
+// LocalShape returns the block shape owned by rank.
+func (d *BlockDist) LocalShape(rank int) (r, c int) {
+	pr, pc := d.G.Coords(rank)
+	return d.BlockShape(pr, pc)
+}
+
+// MaxBlockElems returns the largest local block size over all ranks, which
+// sizes the communication buffers.
+func (d *BlockDist) MaxBlockElems() int {
+	return d.RowChunks[0].N * d.ColChunks[0].N // first chunks are the widest
+}
+
+// Scatter splits a global matrix into per-rank blocks (tightly strided
+// copies) indexed by rank.
+func (d *BlockDist) Scatter(global *mat.Matrix) ([]*mat.Matrix, error) {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		return nil, fmt.Errorf("grid: Scatter shape %dx%d does not match distribution %dx%d",
+			global.Rows, global.Cols, d.Rows, d.Cols)
+	}
+	out := make([]*mat.Matrix, d.G.Size())
+	for rank := 0; rank < d.G.Size(); rank++ {
+		pr, pc := d.G.Coords(rank)
+		r, c := d.BlockShape(pr, pc)
+		i, j := d.BlockOrigin(pr, pc)
+		out[rank] = global.View(i, j, r, c).Clone()
+	}
+	return out, nil
+}
+
+// Gather reassembles per-rank blocks into a global matrix. It is the inverse
+// of Scatter.
+func (d *BlockDist) Gather(blocks []*mat.Matrix) (*mat.Matrix, error) {
+	if len(blocks) != d.G.Size() {
+		return nil, fmt.Errorf("grid: Gather got %d blocks, want %d", len(blocks), d.G.Size())
+	}
+	global := mat.New(d.Rows, d.Cols)
+	for rank, blk := range blocks {
+		pr, pc := d.G.Coords(rank)
+		r, c := d.BlockShape(pr, pc)
+		if blk.Rows != r || blk.Cols != c {
+			return nil, fmt.Errorf("grid: Gather rank %d block %dx%d, want %dx%d", rank, blk.Rows, blk.Cols, r, c)
+		}
+		i, j := d.BlockOrigin(pr, pc)
+		for row := 0; row < r; row++ {
+			copy(global.Data[(i+row)*global.Stride+j:(i+row)*global.Stride+j+c],
+				blk.Data[row*blk.Stride:row*blk.Stride+c])
+		}
+	}
+	return global, nil
+}
+
+// CyclicDist is the two-dimensional block-cyclic distribution used by
+// ScaLAPACK/PBLAS: nb x nb tiles dealt round-robin over the grid, so tile
+// (bi, bj) lives on grid position (bi mod P, bj mod Q). The pdgemm baseline
+// runs on this layout.
+type CyclicDist struct {
+	G          *Grid
+	Rows, Cols int
+	NB         int
+}
+
+// NewCyclicDist builds a block-cyclic distribution with square tiles of
+// side nb.
+func NewCyclicDist(g *Grid, rows, cols, nb int) (*CyclicDist, error) {
+	if nb <= 0 {
+		return nil, fmt.Errorf("grid: block-cyclic nb must be positive, got %d", nb)
+	}
+	return &CyclicDist{G: g, Rows: rows, Cols: cols, NB: nb}, nil
+}
+
+// NumLocal is ScaLAPACK's NUMROC: the number of the n indices that land on
+// partition `proc` of `nprocs` under 1-D block-cyclic dealing with block nb.
+func NumLocal(n, nb, proc, nprocs int) int {
+	nblocks := n / nb
+	local := (nblocks / nprocs) * nb
+	extra := nblocks % nprocs
+	switch {
+	case proc < extra:
+		local += nb
+	case proc == extra:
+		local += n % nb
+	}
+	return local
+}
+
+// LocalShape returns the local array shape owned by rank.
+func (d *CyclicDist) LocalShape(rank int) (r, c int) {
+	pr, pc := d.G.Coords(rank)
+	return NumLocal(d.Rows, d.NB, pr, d.G.P), NumLocal(d.Cols, d.NB, pc, d.G.Q)
+}
+
+// GlobalToLocal maps a global index g to (owner partition, local index)
+// under the 1-D block-cyclic map.
+func GlobalToLocal(g, nb, nprocs int) (proc, local int) {
+	b := g / nb
+	return b % nprocs, (b/nprocs)*nb + g%nb
+}
+
+// LocalToGlobal is the inverse of GlobalToLocal for a fixed partition.
+func LocalToGlobal(local, nb, proc, nprocs int) int {
+	lb := local / nb
+	return (lb*nprocs+proc)*nb + local%nb
+}
+
+// OwnerOf returns the rank owning global element (i, j).
+func (d *CyclicDist) OwnerOf(i, j int) int {
+	pr, _ := GlobalToLocal(i, d.NB, d.G.P)
+	pc, _ := GlobalToLocal(j, d.NB, d.G.Q)
+	return d.G.Rank(pr, pc)
+}
+
+// Scatter splits a global matrix into per-rank local arrays in block-cyclic
+// order.
+func (d *CyclicDist) Scatter(global *mat.Matrix) ([]*mat.Matrix, error) {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		return nil, fmt.Errorf("grid: cyclic Scatter shape %dx%d does not match %dx%d",
+			global.Rows, global.Cols, d.Rows, d.Cols)
+	}
+	out := make([]*mat.Matrix, d.G.Size())
+	for rank := range out {
+		r, c := d.LocalShape(rank)
+		out[rank] = mat.New(r, c)
+	}
+	for i := 0; i < d.Rows; i++ {
+		pr, li := GlobalToLocal(i, d.NB, d.G.P)
+		for j := 0; j < d.Cols; j++ {
+			pc, lj := GlobalToLocal(j, d.NB, d.G.Q)
+			blk := out[d.G.Rank(pr, pc)]
+			blk.Data[li*blk.Stride+lj] = global.Data[i*global.Stride+j]
+		}
+	}
+	return out, nil
+}
+
+// Gather reassembles block-cyclic local arrays into a global matrix.
+func (d *CyclicDist) Gather(blocks []*mat.Matrix) (*mat.Matrix, error) {
+	if len(blocks) != d.G.Size() {
+		return nil, fmt.Errorf("grid: cyclic Gather got %d blocks, want %d", len(blocks), d.G.Size())
+	}
+	for rank, blk := range blocks {
+		r, c := d.LocalShape(rank)
+		if blk.Rows != r || blk.Cols != c {
+			return nil, fmt.Errorf("grid: cyclic Gather rank %d block %dx%d, want %dx%d",
+				rank, blk.Rows, blk.Cols, r, c)
+		}
+	}
+	global := mat.New(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		pr, li := GlobalToLocal(i, d.NB, d.G.P)
+		for j := 0; j < d.Cols; j++ {
+			pc, lj := GlobalToLocal(j, d.NB, d.G.Q)
+			blk := blocks[d.G.Rank(pr, pc)]
+			global.Data[i*global.Stride+j] = blk.Data[li*blk.Stride+lj]
+		}
+	}
+	return global, nil
+}

@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"srumma/internal/mat"
+)
+
+func TestBlockDistShapes(t *testing.T) {
+	g, _ := New(2, 3)
+	d := NewBlockDist(g, 10, 11)
+	totalR, totalC := 0, 0
+	for pr := 0; pr < 2; pr++ {
+		r, _ := d.BlockShape(pr, 0)
+		totalR += r
+	}
+	for pc := 0; pc < 3; pc++ {
+		_, c := d.BlockShape(0, pc)
+		totalC += c
+	}
+	if totalR != 10 || totalC != 11 {
+		t.Fatalf("block shapes sum to %dx%d", totalR, totalC)
+	}
+	if d.MaxBlockElems() != 5*4 {
+		t.Fatalf("MaxBlockElems = %d, want 20", d.MaxBlockElems())
+	}
+}
+
+func TestBlockDistOwnerOf(t *testing.T) {
+	g, _ := New(2, 2)
+	d := NewBlockDist(g, 4, 4)
+	if d.OwnerOf(0, 0) != g.Rank(0, 0) || d.OwnerOf(3, 3) != g.Rank(1, 1) {
+		t.Fatal("corner ownership wrong")
+	}
+	if d.OwnerOf(1, 2) != g.Rank(0, 1) {
+		t.Fatal("(1,2) ownership wrong")
+	}
+}
+
+func TestBlockScatterGatherRoundTrip(t *testing.T) {
+	g, _ := New(3, 2)
+	d := NewBlockDist(g, 7, 9)
+	global := mat.Indexed(7, 9)
+	blocks, err := d.Scatter(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Gather(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(global, back) {
+		t.Fatal("scatter/gather round trip lost data")
+	}
+}
+
+func TestBlockScatterShapeError(t *testing.T) {
+	g, _ := New(2, 2)
+	d := NewBlockDist(g, 4, 4)
+	if _, err := d.Scatter(mat.New(5, 4)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := d.Gather(make([]*mat.Matrix, 3)); err == nil {
+		t.Fatal("expected block-count error")
+	}
+}
+
+func TestNumLocalMatchesEnumeration(t *testing.T) {
+	f := func(nn, nb8, np8 uint8) bool {
+		n := int(nn % 200)
+		nb := 1 + int(nb8%16)
+		nprocs := 1 + int(np8%8)
+		counts := make([]int, nprocs)
+		for gidx := 0; gidx < n; gidx++ {
+			p, _ := GlobalToLocal(gidx, nb, nprocs)
+			counts[p]++
+		}
+		for p := 0; p < nprocs; p++ {
+			if counts[p] != NumLocal(n, nb, p, nprocs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalLocalRoundTrip(t *testing.T) {
+	f := func(gg, nb8, np8 uint8) bool {
+		g := int(gg)
+		nb := 1 + int(nb8%16)
+		nprocs := 1 + int(np8%8)
+		p, l := GlobalToLocal(g, nb, nprocs)
+		return LocalToGlobal(l, nb, p, nprocs) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicLocalIndicesIncrease(t *testing.T) {
+	// Within one partition, local indices must appear in increasing global
+	// order — pdgemm's panel math depends on it.
+	nb, nprocs := 3, 4
+	lastLocal := make(map[int]int)
+	for g := 0; g < 50; g++ {
+		p, l := GlobalToLocal(g, nb, nprocs)
+		if prev, ok := lastLocal[p]; ok && l != prev+1 {
+			t.Fatalf("partition %d local indices not consecutive: %d after %d (g=%d)", p, l, prev, g)
+		}
+		lastLocal[p] = l
+	}
+}
+
+func TestCyclicScatterGatherRoundTrip(t *testing.T) {
+	g, _ := New(2, 3)
+	d, err := NewCyclicDist(g, 11, 13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := mat.Indexed(11, 13)
+	blocks, err := d.Scatter(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Gather(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(global, back) {
+		t.Fatal("cyclic scatter/gather round trip lost data")
+	}
+}
+
+func TestCyclicScatterQuick(t *testing.T) {
+	f := func(seed uint64, rr, cc, nb8 uint8) bool {
+		rows := 1 + int(rr%20)
+		cols := 1 + int(cc%20)
+		nb := 1 + int(nb8%5)
+		g, _ := New(2, 2)
+		d, err := NewCyclicDist(g, rows, cols, nb)
+		if err != nil {
+			return false
+		}
+		global := mat.Random(rows, cols, seed)
+		blocks, err := d.Scatter(global)
+		if err != nil {
+			return false
+		}
+		back, err := d.Gather(blocks)
+		if err != nil {
+			return false
+		}
+		return mat.Equal(global, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicDistValidation(t *testing.T) {
+	g, _ := New(2, 2)
+	if _, err := NewCyclicDist(g, 4, 4, 0); err == nil {
+		t.Fatal("expected error for nb=0")
+	}
+}
+
+func TestCyclicOwnerOf(t *testing.T) {
+	g, _ := New(2, 2)
+	d, _ := NewCyclicDist(g, 8, 8, 2)
+	// Tile (0,0) -> (0,0); tile (1,1) -> (1,1); tile (2,2) wraps to (0,0).
+	if d.OwnerOf(0, 0) != g.Rank(0, 0) {
+		t.Fatal("tile (0,0) owner wrong")
+	}
+	if d.OwnerOf(2, 2) != g.Rank(1, 1) {
+		t.Fatal("tile (1,1) owner wrong")
+	}
+	if d.OwnerOf(4, 4) != g.Rank(0, 0) {
+		t.Fatal("tile (2,2) should wrap to (0,0)")
+	}
+}

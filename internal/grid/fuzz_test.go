@@ -1,0 +1,56 @@
+package grid
+
+import "testing"
+
+// FuzzIntersect verifies the partition-intersection invariants SRUMMA's
+// planner depends on: full coverage, no overlap, containment in both
+// parents.
+func FuzzIntersect(f *testing.F) {
+	f.Add(uint16(12), uint8(3), uint8(4))
+	f.Add(uint16(1), uint8(1), uint8(1))
+	f.Add(uint16(600), uint8(8), uint8(16))
+	f.Add(uint16(7), uint8(5), uint8(3))
+	f.Fuzz(func(t *testing.T, nn uint16, pa, pb uint8) {
+		n := int(nn % 2000)
+		a := BlockPartition(n, 1+int(pa%32))
+		b := BlockPartition(n, 1+int(pb%32))
+		ov := Intersect(a, b)
+		pos := 0
+		for _, o := range ov {
+			if o.Lo != pos || o.N <= 0 {
+				t.Fatalf("gap/overlap at %d: %+v", pos, o)
+			}
+			ac, bc := a[o.AIdx], b[o.BIdx]
+			if o.Lo < ac.Lo || o.Lo+o.N > ac.Lo+ac.N {
+				t.Fatalf("piece %+v escapes a-chunk %+v", o, ac)
+			}
+			if o.Lo < bc.Lo || o.Lo+o.N > bc.Lo+bc.N {
+				t.Fatalf("piece %+v escapes b-chunk %+v", o, bc)
+			}
+			pos += o.N
+		}
+		if pos != n {
+			t.Fatalf("covered %d of %d", pos, n)
+		}
+	})
+}
+
+// FuzzCyclicMapping verifies the block-cyclic index maps are mutually
+// inverse and owner-consistent.
+func FuzzCyclicMapping(f *testing.F) {
+	f.Add(uint16(100), uint8(4), uint8(3))
+	f.Add(uint16(0), uint8(1), uint8(1))
+	f.Add(uint16(9999), uint8(64), uint8(7))
+	f.Fuzz(func(t *testing.T, gg uint16, nb8, np8 uint8) {
+		g := int(gg)
+		nb := 1 + int(nb8%64)
+		nprocs := 1 + int(np8%16)
+		p, l := GlobalToLocal(g, nb, nprocs)
+		if p < 0 || p >= nprocs || l < 0 {
+			t.Fatalf("GlobalToLocal(%d,%d,%d) = (%d,%d)", g, nb, nprocs, p, l)
+		}
+		if back := LocalToGlobal(l, nb, p, nprocs); back != g {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d", g, p, l, back)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package grid provides two-dimensional process grids and the data
+// distributions used by the parallel matrix-multiplication algorithms:
+// regular block distribution (SRUMMA, SUMMA, Cannon) and block-cyclic
+// distribution (the pdgemm/ScaLAPACK baseline). It also implements the
+// k-partition intersection that SRUMMA's task planner needs when the two
+// input matrices split the contraction dimension differently (p x q grids
+// with p != q, and the transpose cases).
+package grid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Grid is a P x Q arrangement of process ranks. Ranks are assigned
+// column-major (rank = col*P + row), matching the paper's Figure 4 where a
+// node of an SMP cluster holds a column of the grid.
+type Grid struct {
+	P, Q int // rows, cols of the process grid
+}
+
+// New returns a p x q grid or an error when either dimension is
+// non-positive.
+func New(p, q int) (*Grid, error) {
+	if p <= 0 || q <= 0 {
+		return nil, fmt.Errorf("grid: invalid %dx%d grid", p, q)
+	}
+	return &Grid{P: p, Q: q}, nil
+}
+
+// Square returns the most square grid p x q with p*q = nprocs and p <= q.
+func Square(nprocs int) (*Grid, error) {
+	if nprocs <= 0 {
+		return nil, errors.New("grid: nprocs must be positive")
+	}
+	best := 1
+	for d := 1; d*d <= nprocs; d++ {
+		if nprocs%d == 0 {
+			best = d
+		}
+	}
+	return New(best, nprocs/best)
+}
+
+// BestFor returns the p x q factorization of nprocs that minimizes the
+// per-process communication volume of a block algorithm on an m x n result:
+// each process touches a row strip of height m/p and a column strip of
+// width n/q, so the cost model is m/p + n/q. For square results this
+// reduces to the most-square grid; for skinny results it stretches the grid
+// to match.
+func BestFor(nprocs, m, n int) (*Grid, error) {
+	if nprocs <= 0 {
+		return nil, errors.New("grid: nprocs must be positive")
+	}
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("grid: BestFor with %dx%d result", m, n)
+	}
+	bestP := 1
+	bestCost := float64(m) + float64(n)/float64(nprocs)
+	for p := 1; p <= nprocs; p++ {
+		if nprocs%p != 0 {
+			continue
+		}
+		q := nprocs / p
+		cost := float64(m)/float64(p) + float64(n)/float64(q)
+		if cost < bestCost {
+			bestCost = cost
+			bestP = p
+		}
+	}
+	return New(bestP, nprocs/bestP)
+}
+
+// Size returns the number of ranks in the grid.
+func (g *Grid) Size() int { return g.P * g.Q }
+
+// Rank returns the rank of the process at grid position (row, col).
+func (g *Grid) Rank(row, col int) int {
+	if row < 0 || row >= g.P || col < 0 || col >= g.Q {
+		panic(fmt.Sprintf("grid: position (%d,%d) outside %dx%d", row, col, g.P, g.Q))
+	}
+	return col*g.P + row
+}
+
+// Coords returns the (row, col) grid position of rank.
+func (g *Grid) Coords(rank int) (row, col int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("grid: rank %d outside %dx%d", rank, g.P, g.Q))
+	}
+	return rank % g.P, rank / g.P
+}
+
+// RowRanks returns the ranks of grid row `row` in column order.
+func (g *Grid) RowRanks(row int) []int {
+	out := make([]int, g.Q)
+	for c := 0; c < g.Q; c++ {
+		out[c] = g.Rank(row, c)
+	}
+	return out
+}
+
+// ColRanks returns the ranks of grid column `col` in row order.
+func (g *Grid) ColRanks(col int) []int {
+	out := make([]int, g.P)
+	for r := 0; r < g.P; r++ {
+		out[r] = g.Rank(r, col)
+	}
+	return out
+}
+
+// Chunk describes one contiguous piece of a 1-D block partition:
+// global indices [Lo, Lo+N) assigned to partition index Idx.
+type Chunk struct {
+	Idx int
+	Lo  int
+	N   int
+}
+
+// BlockPartition splits n indices into parts chunks as evenly as possible
+// (the first n%parts chunks get one extra element). Every chunk is returned,
+// including empty ones when parts > n, so chunk index always equals grid
+// coordinate.
+func BlockPartition(n, parts int) []Chunk {
+	if parts <= 0 {
+		panic(fmt.Sprintf("grid: BlockPartition with %d parts", parts))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("grid: BlockPartition with negative n=%d", n))
+	}
+	base := n / parts
+	extra := n % parts
+	out := make([]Chunk, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out[i] = Chunk{Idx: i, Lo: lo, N: sz}
+		lo += sz
+	}
+	return out
+}
+
+// PartitionOf returns the chunk index owning global index i under
+// BlockPartition(n, parts). It panics when i is out of range.
+func PartitionOf(n, parts, i int) int {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("grid: index %d outside [0,%d)", i, n))
+	}
+	base := n / parts
+	extra := n % parts
+	// First `extra` chunks have size base+1.
+	wide := extra * (base + 1)
+	if i < wide {
+		return i / (base + 1)
+	}
+	if base == 0 {
+		panic("grid: unreachable: index beyond all non-empty chunks")
+	}
+	return extra + (i-wide)/base
+}
+
+// Overlap describes the intersection of chunk A-chunk ai and B-chunk bi of
+// two partitions of the same index space: global range [Lo, Lo+N).
+type Overlap struct {
+	AIdx, BIdx int
+	Lo, N      int
+}
+
+// Intersect returns the non-empty pairwise intersections of two block
+// partitions of the same n indices, ordered by Lo. SRUMMA uses this to form
+// tasks when matrix A splits k into q chunks while matrix B splits k into p
+// chunks.
+func Intersect(a, b []Chunk) []Overlap {
+	var out []Overlap
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].N == 0 {
+			i++
+			continue
+		}
+		if b[j].N == 0 {
+			j++
+			continue
+		}
+		lo := maxInt(a[i].Lo, b[j].Lo)
+		hi := minInt(a[i].Lo+a[i].N, b[j].Lo+b[j].N)
+		if hi > lo {
+			out = append(out, Overlap{AIdx: a[i].Idx, BIdx: b[j].Idx, Lo: lo, N: hi - lo})
+		}
+		// Advance whichever chunk ends first.
+		if a[i].Lo+a[i].N <= b[j].Lo+b[j].N {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Fatal("expected error for 0 rows")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Fatal("expected error for negative cols")
+	}
+	g, err := New(2, 3)
+	if err != nil || g.Size() != 6 {
+		t.Fatalf("New(2,3): %v, size %d", err, g.Size())
+	}
+}
+
+func TestSquareGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 4: {2, 2}, 6: {2, 3}, 12: {3, 4}, 16: {4, 4},
+		128: {8, 16}, 7: {1, 7}, 36: {6, 6},
+	}
+	for n, want := range cases {
+		g, err := Square(n)
+		if err != nil {
+			t.Fatalf("Square(%d): %v", n, err)
+		}
+		if g.P != want[0] || g.Q != want[1] {
+			t.Errorf("Square(%d) = %dx%d, want %dx%d", n, g.P, g.Q, want[0], want[1])
+		}
+	}
+	if _, err := Square(0); err == nil {
+		t.Fatal("expected error for Square(0)")
+	}
+}
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	g, _ := New(3, 5)
+	seen := make(map[int]bool)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 5; c++ {
+			rank := g.Rank(r, c)
+			if seen[rank] {
+				t.Fatalf("duplicate rank %d", rank)
+			}
+			seen[rank] = true
+			rr, cc := g.Coords(rank)
+			if rr != r || cc != c {
+				t.Fatalf("Coords(Rank(%d,%d)) = (%d,%d)", r, c, rr, cc)
+			}
+		}
+	}
+	if len(seen) != 15 {
+		t.Fatalf("covered %d ranks, want 15", len(seen))
+	}
+}
+
+func TestColumnMajorRanks(t *testing.T) {
+	// Paper Figure 4: a node holds a grid column, so column-major rank
+	// numbering puts P00, P10, P20, P30 on ranks 0..3.
+	g, _ := New(4, 4)
+	for r := 0; r < 4; r++ {
+		if g.Rank(r, 0) != r {
+			t.Fatalf("Rank(%d,0) = %d, want %d", r, g.Rank(r, 0), r)
+		}
+	}
+	if g.Rank(0, 1) != 4 {
+		t.Fatalf("Rank(0,1) = %d, want 4", g.Rank(0, 1))
+	}
+}
+
+func TestRowColRanks(t *testing.T) {
+	g, _ := New(2, 3)
+	row := g.RowRanks(1)
+	if len(row) != 3 || row[0] != g.Rank(1, 0) || row[2] != g.Rank(1, 2) {
+		t.Fatalf("RowRanks(1) = %v", row)
+	}
+	col := g.ColRanks(2)
+	if len(col) != 2 || col[0] != g.Rank(0, 2) || col[1] != g.Rank(1, 2) {
+		t.Fatalf("ColRanks(2) = %v", col)
+	}
+}
+
+func TestBlockPartitionCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {10, 10}, {10, 1}, {3, 5}, {0, 4}, {100, 7}, {1, 1},
+	} {
+		chunks := BlockPartition(tc.n, tc.parts)
+		if len(chunks) != tc.parts {
+			t.Fatalf("n=%d parts=%d: %d chunks", tc.n, tc.parts, len(chunks))
+		}
+		pos, total := 0, 0
+		for i, ch := range chunks {
+			if ch.Idx != i || ch.Lo != pos || ch.N < 0 {
+				t.Fatalf("n=%d parts=%d chunk %d: %+v (pos %d)", tc.n, tc.parts, i, ch, pos)
+			}
+			pos += ch.N
+			total += ch.N
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d parts=%d: chunks cover %d", tc.n, tc.parts, total)
+		}
+		// Sizes differ by at most one and are non-increasing.
+		for i := 1; i < len(chunks); i++ {
+			if chunks[i].N > chunks[i-1].N {
+				t.Fatalf("chunk sizes increase at %d: %v", i, chunks)
+			}
+			if chunks[0].N-chunks[i].N > 1 {
+				t.Fatalf("chunk sizes differ by more than one: %v", chunks)
+			}
+		}
+	}
+}
+
+func TestPartitionOfMatchesChunks(t *testing.T) {
+	f := func(nn, pp uint8) bool {
+		n := 1 + int(nn%200)
+		parts := 1 + int(pp%16)
+		chunks := BlockPartition(n, parts)
+		for _, ch := range chunks {
+			for i := ch.Lo; i < ch.Lo+ch.N; i++ {
+				if PartitionOf(n, parts, i) != ch.Idx {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectAligned(t *testing.T) {
+	a := BlockPartition(12, 4)
+	b := BlockPartition(12, 4)
+	ov := Intersect(a, b)
+	if len(ov) != 4 {
+		t.Fatalf("aligned intersect gave %d overlaps", len(ov))
+	}
+	for i, o := range ov {
+		if o.AIdx != i || o.BIdx != i || o.N != 3 {
+			t.Fatalf("overlap %d: %+v", i, o)
+		}
+	}
+}
+
+func TestIntersectMisaligned(t *testing.T) {
+	a := BlockPartition(12, 3) // 4,4,4
+	b := BlockPartition(12, 4) // 3,3,3,3
+	ov := Intersect(a, b)
+	// Boundaries at 3,4,6,8,9 -> pieces 0-3,3-4,4-6,6-8,8-9,9-12.
+	if len(ov) != 6 {
+		t.Fatalf("misaligned intersect gave %d overlaps: %+v", len(ov), ov)
+	}
+	total := 0
+	pos := 0
+	for _, o := range ov {
+		if o.Lo != pos {
+			t.Fatalf("gap or overlap at %d: %+v", pos, o)
+		}
+		pos += o.N
+		total += o.N
+	}
+	if total != 12 {
+		t.Fatalf("overlaps cover %d of 12", total)
+	}
+}
+
+func TestIntersectQuickCoversRange(t *testing.T) {
+	f := func(nn, pa, pb uint8) bool {
+		n := 1 + int(nn%100)
+		a := BlockPartition(n, 1+int(pa%8))
+		b := BlockPartition(n, 1+int(pb%8))
+		ov := Intersect(a, b)
+		pos := 0
+		for _, o := range ov {
+			if o.Lo != pos || o.N <= 0 {
+				return false
+			}
+			// Every overlap must lie inside both named chunks.
+			ac, bc := a[o.AIdx], b[o.BIdx]
+			if o.Lo < ac.Lo || o.Lo+o.N > ac.Lo+ac.N || o.Lo < bc.Lo || o.Lo+o.N > bc.Lo+bc.N {
+				return false
+			}
+			pos += o.N
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectEmptyChunks(t *testing.T) {
+	a := BlockPartition(3, 5) // sizes 1,1,1,0,0
+	b := BlockPartition(3, 2)
+	ov := Intersect(a, b)
+	pos := 0
+	for _, o := range ov {
+		pos += o.N
+	}
+	if pos != 3 {
+		t.Fatalf("overlaps cover %d of 3: %+v", pos, ov)
+	}
+}
+
+func TestBestForSquareMatchesSquare(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		got, err := BestFor(n, 1000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := Square(n)
+		if got.P != want.P || got.Q != want.Q {
+			t.Errorf("BestFor(%d, square) = %dx%d, want %dx%d", n, got.P, got.Q, want.P, want.Q)
+		}
+	}
+}
+
+func TestBestForSkinnyResults(t *testing.T) {
+	// Tall result: more grid rows than columns.
+	g, err := BestFor(16, 8000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.P <= g.Q {
+		t.Errorf("tall result should stretch rows: got %dx%d", g.P, g.Q)
+	}
+	// Wide result: the mirror.
+	g, _ = BestFor(16, 500, 8000)
+	if g.Q <= g.P {
+		t.Errorf("wide result should stretch cols: got %dx%d", g.P, g.Q)
+	}
+	// Vector result (n=1): the grid collapses to a column.
+	g, _ = BestFor(12, 6000, 1)
+	if g.P != 12 || g.Q != 1 {
+		t.Errorf("vector result: got %dx%d, want 12x1", g.P, g.Q)
+	}
+}
+
+func TestBestForValidation(t *testing.T) {
+	if _, err := BestFor(0, 4, 4); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := BestFor(4, 0, 4); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestBestForQuickIsOptimal(t *testing.T) {
+	f := func(np8, mm, nn uint8) bool {
+		nprocs := 1 + int(np8%32)
+		m := 1 + int(mm)*16
+		n := 1 + int(nn)*16
+		g, err := BestFor(nprocs, m, n)
+		if err != nil || g.Size() != nprocs {
+			return false
+		}
+		got := float64(m)/float64(g.P) + float64(n)/float64(g.Q)
+		for p := 1; p <= nprocs; p++ {
+			if nprocs%p != 0 {
+				continue
+			}
+			alt := float64(m)/float64(p) + float64(n)/float64(nprocs/p)
+			if alt < got-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

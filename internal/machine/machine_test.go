@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for name, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("map key %q != profile name %q", name, p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("sgi-altix")
+	if err != nil || p.Name != "sgi-altix" {
+		t.Fatalf("ByName: %v %v", p.Name, err)
+	}
+	if _, err := ByName("cray-t3e"); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []func(*Profile){
+		func(p *Profile) { p.ProcsPerNode = 0 },
+		func(p *Profile) { p.PeakFlops = 0 },
+		func(p *Profile) { p.MemBW = -1 },
+		func(p *Profile) { p.ZeroCopy = false; p.HostCopyBW = 0 },
+		func(p *Profile) { p.RemoteGemmDerate = 0.5 },
+		func(p *Profile) { p.EagerThreshold = -1 },
+	}
+	for i, mutate := range cases {
+		p := LinuxMyrinet()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestGemmRateMonotoneInDims(t *testing.T) {
+	p := SGIAltix()
+	if p.GemmRate(10, 10, 10, false) >= p.GemmRate(1000, 1000, 1000, false) {
+		t.Fatal("small multiplies should run below asymptotic rate")
+	}
+	if p.GemmRate(1000, 1000, 1000, false) >= p.PeakFlops {
+		t.Fatal("rate must stay below peak")
+	}
+	// The smallest dimension dominates: a skinny k should throttle.
+	if p.GemmRate(1000, 1000, 4, false) >= p.GemmRate(1000, 1000, 256, false) {
+		t.Fatal("skinny-k multiply should be slower")
+	}
+}
+
+func TestGemmRateRemoteDerate(t *testing.T) {
+	x1 := CrayX1()
+	local := x1.GemmRate(500, 500, 500, false)
+	remote := x1.GemmRate(500, 500, 500, true)
+	if remote >= local {
+		t.Fatal("remote operands must derate on the X1")
+	}
+	ratio := local / remote
+	if ratio < x1.RemoteGemmDerate*0.99 || ratio > x1.RemoteGemmDerate*1.01 {
+		t.Fatalf("derate ratio %g, want %g", ratio, x1.RemoteGemmDerate)
+	}
+	// Altix derates much less than the X1 — that asymmetry is Figure 5.
+	if SGIAltix().RemoteGemmDerate >= x1.RemoteGemmDerate {
+		t.Fatal("Altix must derate less than X1")
+	}
+}
+
+func TestGemmTimeScalesWithWork(t *testing.T) {
+	p := LinuxMyrinet()
+	t1 := p.GemmTime(200, 200, 200, false)
+	t2 := p.GemmTime(400, 400, 400, false)
+	if t2 <= 7*t1 { // 8x flops, slightly higher efficiency
+		t.Fatalf("t(400)=%g vs t(200)=%g", t2, t1)
+	}
+}
+
+func TestPlatformCharacterAssumptions(t *testing.T) {
+	// These relationships drive the paper's qualitative results; lock them
+	// in so a careless recalibration cannot silently invert a conclusion.
+	lm, sp, x1, al := LinuxMyrinet(), IBMSP(), CrayX1(), SGIAltix()
+	if !lm.ZeroCopy || sp.ZeroCopy {
+		t.Fatal("Myrinet is zero-copy, LAPI is not")
+	}
+	if !x1.DomainSpansMachine || !al.DomainSpansMachine || lm.DomainSpansMachine || sp.DomainSpansMachine {
+		t.Fatal("only X1 and Altix are machine-wide shared memory")
+	}
+	if x1.RemoteCacheable || !al.RemoteCacheable {
+		t.Fatal("X1 remote memory is uncacheable; Altix is cacheable")
+	}
+	if al.MPIBW >= al.NetBW*0.5 {
+		t.Fatal("MPI on Altix must cost extra copies vs direct memcpy")
+	}
+	if sp.ProcsPerNode != 16 || lm.ProcsPerNode != 2 {
+		t.Fatal("node widths: SP is 16-way, Linux cluster is 2-way")
+	}
+	names := make([]string, 0)
+	for n := range All() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) != 6 {
+		t.Fatalf("expected 6 platforms, have %v", names)
+	}
+	if mc := ModernCluster(); !mc.ZeroCopy || mc.NetBW <= LinuxMyrinet().NetBW*10 {
+		t.Fatal("modern cluster must be zero-copy with a far faster fabric")
+	}
+	// The KLAPI projection differs from the SP only in the RMA path.
+	sp, kl := IBMSP(), IBMSPKLAPI()
+	if !kl.ZeroCopy || sp.ZeroCopy {
+		t.Fatal("KLAPI must be the zero-copy SP")
+	}
+	if kl.RMALatency >= sp.RMALatency {
+		t.Fatal("KLAPI get latency should improve on LAPI's")
+	}
+	if kl.MPIBW != sp.MPIBW || kl.PeakFlops != sp.PeakFlops {
+		t.Fatal("KLAPI must not change non-RMA parameters")
+	}
+}

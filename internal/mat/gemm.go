@@ -1,0 +1,228 @@
+package mat
+
+// This file implements the serial dgemm kernel:
+//
+//	C = alpha*op(A)*op(B) + beta*C
+//
+// with op(X) = X or Xᵀ, as a blocked pure-Go routine. The paper uses vendor
+// dgemm (ESSL/MKL/SCS/libsci); this is our substitution. The loop orders are
+// chosen so the innermost loop always streams over a contiguous row of at
+// least one operand, which is what "cache-aware" means for a row-major
+// layout without SIMD intrinsics.
+
+// Block sizes for the cache-blocked kernels. Chosen so an (mc x kc) panel of
+// A plus a (kc x nc) panel of B fit comfortably in a typical L2 cache
+// (~256 KiB of float64 at these settings).
+const (
+	blockM = 64
+	blockN = 256
+	blockK = 64
+)
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is controlled by
+// transA and transB. Shapes after op must satisfy op(A): m x k,
+// op(B): k x n, C: m x n; otherwise ErrShape is returned and C is not
+// touched.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		return ErrShape
+	}
+	scaleC(beta, c)
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return nil
+	}
+	// Blocked outer loops shared by all four variants; the inner kernels
+	// operate on views so they never see the blocking.
+	for i0 := 0; i0 < m; i0 += blockM {
+		ib := min(blockM, m-i0)
+		for l0 := 0; l0 < k; l0 += blockK {
+			lb := min(blockK, k-l0)
+			for j0 := 0; j0 < n; j0 += blockN {
+				jb := min(blockN, n-j0)
+				cBlk := c.View(i0, j0, ib, jb)
+				switch {
+				case !transA && !transB:
+					gemmNN(alpha, a.View(i0, l0, ib, lb), b.View(l0, j0, lb, jb), cBlk)
+				case transA && !transB:
+					gemmTN(alpha, a.View(l0, i0, lb, ib), b.View(l0, j0, lb, jb), cBlk)
+				case !transA && transB:
+					gemmNT(alpha, a.View(i0, l0, ib, lb), b.View(j0, l0, jb, lb), cBlk)
+				default:
+					gemmTT(alpha, a.View(l0, i0, lb, ib), b.View(j0, l0, jb, lb), cBlk)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func scaleC(beta float64, c *Matrix) {
+	switch beta {
+	case 1:
+		return
+	case 0:
+		c.Zero()
+	default:
+		for i := 0; i < c.Rows; i++ {
+			row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// gemmNN: C(ib x jb) += alpha * A(ib x lb) * B(lb x jb).
+// Inner loop streams rows of B and C (axpy form).
+func gemmNN(alpha float64, a, b, c *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		cRow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for l, av := range aRow {
+			s := alpha * av
+			if s == 0 {
+				continue
+			}
+			bRow := b.Data[l*b.Stride : l*b.Stride+b.Cols]
+			axpy(s, bRow, cRow)
+		}
+	}
+}
+
+// gemmTN: C(ib x jb) += alpha * A(lb x ib)ᵀ * B(lb x jb).
+// Outer loop over l keeps row l of both A and B contiguous.
+func gemmTN(alpha float64, a, b, c *Matrix) {
+	for l := 0; l < a.Rows; l++ {
+		aRow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+		bRow := b.Data[l*b.Stride : l*b.Stride+b.Cols]
+		for i, av := range aRow {
+			s := alpha * av
+			if s == 0 {
+				continue
+			}
+			cRow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			axpy(s, bRow, cRow)
+		}
+	}
+}
+
+// gemmNT: C(ib x jb) += alpha * A(ib x lb) * B(jb x lb)ᵀ.
+// Dot-product form: rows of A and rows of B are both contiguous.
+func gemmNT(alpha float64, a, b, c *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		cRow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < b.Rows; j++ {
+			bRow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+			cRow[j] += alpha * dot(aRow, bRow)
+		}
+	}
+}
+
+// gemmTT: C(ib x jb) += alpha * A(lb x ib)ᵀ * B(jb x lb)ᵀ.
+// Loop over l outermost keeps row l of A contiguous; B is read by column of
+// the transposed operand, i.e. strided, which is unavoidable for TT without
+// an explicit transpose buffer (block sizes keep the working set cached).
+func gemmTT(alpha float64, a, b, c *Matrix) {
+	for l := 0; l < a.Rows; l++ {
+		aRow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			s := alpha * b.Data[j*b.Stride+l]
+			if s == 0 {
+				continue
+			}
+			for i, av := range aRow {
+				c.Data[i*c.Stride+j] += s * av
+			}
+		}
+	}
+}
+
+// axpy computes y += s*x over equal-length slices, unrolled by four to give
+// the compiler room to keep values in registers.
+func axpy(s float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += s * x[i]
+		y[i+1] += s * x[i+1]
+		y[i+2] += s * x[i+2]
+		y[i+3] += s * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += s * x[i]
+	}
+}
+
+// dot returns the inner product of equal-length slices.
+func dot(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// GemmNaive is the reference triple loop used only by tests to validate the
+// blocked kernel. C = alpha*op(A)*op(B) + beta*C.
+func GemmNaive(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb || c.Rows != m || c.Cols != n {
+		return ErrShape
+	}
+	at := func(i, l int) float64 {
+		if transA {
+			return a.Data[l*a.Stride+i]
+		}
+		return a.Data[i*a.Stride+l]
+	}
+	bt := func(l, j int) float64 {
+		if transB {
+			return b.Data[j*b.Stride+l]
+		}
+		return b.Data[l*b.Stride+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c.Data[i*c.Stride+j] = alpha*s + beta*c.Data[i*c.Stride+j]
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package redist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"srumma/internal/armci"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/machine"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+	"srumma/internal/simrt"
+)
+
+func checkBlockTranspose(t *testing.T, p, q, rows, cols int) {
+	t.Helper()
+	g, _ := grid.New(p, q)
+	ds := grid.NewBlockDist(g, rows, cols)
+	dd := grid.NewBlockDist(g, cols, rows)
+	src := mat.Indexed(rows, cols)
+	co := driver.NewCollect(g.Size())
+	topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+	_, err := armci.Run(topo, func(c rt.Ctx) {
+		gs := driver.AllocBlock(c, ds)
+		gd := driver.AllocBlock(c, dd)
+		driver.LoadBlock(c, ds, gs, src)
+		TransposeBlock(c, ds, dd, gs, gd)
+		co.Deposit(c, driver.StoreBlock(c, dd, gd))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dd.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(got, src.Transpose()) {
+		t.Errorf("block transpose wrong for grid %dx%d, %dx%d matrix", p, q, rows, cols)
+	}
+}
+
+func TestTransposeBlockVariousShapes(t *testing.T) {
+	checkBlockTranspose(t, 2, 2, 8, 8)
+	checkBlockTranspose(t, 2, 3, 10, 14)
+	checkBlockTranspose(t, 3, 2, 7, 11) // uneven chunks
+	checkBlockTranspose(t, 1, 4, 5, 12) // row of processes
+	checkBlockTranspose(t, 4, 1, 12, 5) // column of processes
+	checkBlockTranspose(t, 1, 1, 6, 9)  // trivial
+	checkBlockTranspose(t, 3, 3, 2, 11) // more procs than rows
+}
+
+func TestTransposeBlockQuick(t *testing.T) {
+	f := func(rr, cc, pp uint8) bool {
+		rows := 1 + int(rr%20)
+		cols := 1 + int(cc%20)
+		grids := [][2]int{{2, 2}, {2, 3}, {3, 2}, {1, 4}}
+		pq := grids[int(pp)%len(grids)]
+		g, _ := grid.New(pq[0], pq[1])
+		ds := grid.NewBlockDist(g, rows, cols)
+		dd := grid.NewBlockDist(g, cols, rows)
+		src := mat.Random(rows, cols, uint64(rr)*7+uint64(cc))
+		co := driver.NewCollect(g.Size())
+		topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+		_, err := armci.Run(topo, func(c rt.Ctx) {
+			gs := driver.AllocBlock(c, ds)
+			gd := driver.AllocBlock(c, dd)
+			driver.LoadBlock(c, ds, gs, src)
+			TransposeBlock(c, ds, dd, gs, gd)
+			co.Deposit(c, driver.StoreBlock(c, dd, gd))
+		})
+		if err != nil {
+			return false
+		}
+		got, err := dd.Gather(co.Blocks)
+		if err != nil {
+			return false
+		}
+		return mat.Equal(got, src.Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkCyclicTranspose(t *testing.T, p, q, rows, cols, nb int) {
+	t.Helper()
+	g, _ := grid.New(p, q)
+	ds, err := grid.NewCyclicDist(g, rows, cols, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := grid.NewCyclicDist(g, cols, rows, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mat.Indexed(rows, cols)
+	co := driver.NewCollect(g.Size())
+	topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+	_, err = armci.Run(topo, func(c rt.Ctx) {
+		gs := driver.AllocCyclic(c, ds)
+		gd := driver.AllocCyclic(c, dd)
+		driver.LoadCyclic(c, ds, gs, src)
+		TransposeCyclic(c, ds, dd, gs, gd)
+		co.Deposit(c, driver.StoreCyclic(c, dd, gd))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dd.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(got, src.Transpose()) {
+		t.Errorf("cyclic transpose wrong: grid %dx%d, %dx%d, nb=%d", p, q, rows, cols, nb)
+	}
+}
+
+func TestTransposeCyclicVariousShapes(t *testing.T) {
+	checkCyclicTranspose(t, 2, 2, 8, 8, 2)
+	checkCyclicTranspose(t, 2, 3, 13, 9, 2) // edge tiles
+	checkCyclicTranspose(t, 2, 2, 10, 6, 4)
+	checkCyclicTranspose(t, 3, 2, 7, 11, 3)
+	checkCyclicTranspose(t, 2, 2, 5, 5, 8) // nb larger than matrix
+	checkCyclicTranspose(t, 1, 1, 6, 4, 2)
+}
+
+func TestTransposeCyclicQuick(t *testing.T) {
+	f := func(rr, cc, nb8, pp uint8) bool {
+		rows := 1 + int(rr%24)
+		cols := 1 + int(cc%24)
+		nb := 1 + int(nb8%5)
+		grids := [][2]int{{2, 2}, {2, 3}, {3, 2}}
+		pq := grids[int(pp)%len(grids)]
+		g, _ := grid.New(pq[0], pq[1])
+		ds, _ := grid.NewCyclicDist(g, rows, cols, nb)
+		dd, _ := grid.NewCyclicDist(g, cols, rows, nb)
+		src := mat.Random(rows, cols, uint64(rr)+uint64(cc)*13+uint64(nb8))
+		co := driver.NewCollect(g.Size())
+		topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+		_, err := armci.Run(topo, func(c rt.Ctx) {
+			gs := driver.AllocCyclic(c, ds)
+			gd := driver.AllocCyclic(c, dd)
+			driver.LoadCyclic(c, ds, gs, src)
+			TransposeCyclic(c, ds, dd, gs, gd)
+			co.Deposit(c, driver.StoreCyclic(c, dd, gd))
+		})
+		if err != nil {
+			return false
+		}
+		got, err := dd.Gather(co.Blocks)
+		if err != nil {
+			return false
+		}
+		return mat.Equal(got, src.Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeOnSimEngine(t *testing.T) {
+	// Both transposes must run and terminate on the sim engine.
+	prof := machine.LinuxMyrinet()
+	g, _ := grid.New(2, 4)
+	ds := grid.NewBlockDist(g, 128, 96)
+	dd := grid.NewBlockDist(g, 96, 128)
+	cs, _ := grid.NewCyclicDist(g, 128, 96, 16)
+	cd, _ := grid.NewCyclicDist(g, 96, 128, 16)
+	res, err := simrt.Run(prof, 8, func(c rt.Ctx) {
+		gs := driver.AllocBlock(c, ds)
+		gd := driver.AllocBlock(c, dd)
+		TransposeBlock(c, ds, dd, gs, gd)
+		g2s := driver.AllocCyclic(c, cs)
+		g2d := driver.AllocCyclic(c, cd)
+		TransposeCyclic(c, cs, cd, g2s, g2d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestTransposeBlockShapeMismatchPanics(t *testing.T) {
+	g, _ := grid.New(2, 2)
+	ds := grid.NewBlockDist(g, 8, 8)
+	dd := grid.NewBlockDist(g, 8, 9)
+	topo := rt.Topology{NProcs: 4, ProcsPerNode: 2}
+	_, err := armci.Run(topo, func(c rt.Ctx) {
+		gs := driver.AllocBlock(c, ds)
+		gd := driver.AllocBlock(c, dd)
+		TransposeBlock(c, ds, dd, gs, gd)
+	})
+	if err == nil {
+		t.Fatal("expected shape mismatch panic")
+	}
+}

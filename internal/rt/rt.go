@@ -1,0 +1,264 @@
+// Package rt defines the runtime abstraction every parallel algorithm in
+// this repository is written against. An algorithm is an SPMD body running
+// once per process against a Ctx, which exposes:
+//
+//   - ARMCI-style one-sided communication (collective Malloc, Get/Put,
+//     nonblocking NbGet/NbPut with Wait, locality queries, direct
+//     shared-memory access) — what SRUMMA uses;
+//   - MPI-style two-sided communication (Send/Recv, Isend/Irecv) — what the
+//     SUMMA/pdgemm/Cannon baselines use;
+//   - a compute interface (Gemm, Pack) so the engine decides whether work is
+//     executed (real engine) or charged to a virtual clock (sim engine).
+//
+// Two engines implement Ctx: internal/armci runs real goroutine processes
+// sharing one address space (the correctness engine), and internal/simrt
+// runs simulated processes over internal/vtime + internal/simnet (the
+// performance-model engine reproducing the paper's platforms).
+package rt
+
+import "fmt"
+
+// Buffer is an opaque handle to a contiguous run of float64 elements. The
+// real engine backs it with an actual slice; the sim engine tracks only its
+// length.
+type Buffer interface {
+	// Len returns the buffer length in elements.
+	Len() int
+}
+
+// Global is a collectively allocated distributed segment: one Buffer-like
+// region per rank (ARMCI_Malloc semantics). Engines return their own
+// implementations.
+type Global interface {
+	// LenAt returns the number of elements in rank's segment.
+	LenAt(rank int) int
+}
+
+// Handle identifies an outstanding nonblocking operation.
+type Handle interface {
+	// Done reports whether the operation has completed. Waiting is done via
+	// Ctx.Wait so engines can account blocked time.
+	Done() bool
+}
+
+// Mat describes a (sub)matrix operand living inside a Buffer: a row-major
+// Rows x Cols view starting Off elements into the buffer with leading
+// dimension LD. Trans marks the operand as transposed for Gemm. Remote
+// marks an operand accessed directly in another process's memory (only
+// possible inside a shared-memory domain); the sim engine derates dgemm on
+// remote operands to model NUMA/non-cacheable access.
+type Mat struct {
+	Buf        Buffer
+	Off        int
+	LD         int
+	Rows, Cols int
+	Trans      bool
+	Remote     bool
+}
+
+// Elems returns the number of elements the view touches, assuming LD >= Cols.
+func (m Mat) Elems() int { return m.Rows * m.Cols }
+
+// Valid checks the view fits inside its buffer.
+func (m Mat) Valid() error {
+	if m.Buf == nil {
+		return fmt.Errorf("rt: Mat with nil buffer")
+	}
+	if m.Rows < 0 || m.Cols < 0 || m.LD < m.Cols || m.Off < 0 {
+		return fmt.Errorf("rt: malformed Mat %dx%d ld=%d off=%d", m.Rows, m.Cols, m.LD, m.Off)
+	}
+	if m.Rows > 0 && m.Cols > 0 {
+		last := m.Off + (m.Rows-1)*m.LD + m.Cols
+		if last > m.Buf.Len() {
+			return fmt.Errorf("rt: Mat overruns buffer: needs %d elements, have %d", last, m.Buf.Len())
+		}
+	}
+	return nil
+}
+
+// OpShape returns the shape of the operand after applying Trans.
+func (m Mat) OpShape() (r, c int) {
+	if m.Trans {
+		return m.Cols, m.Rows
+	}
+	return m.Rows, m.Cols
+}
+
+// Stats accumulates per-process communication and computation accounting.
+// Times are in engine seconds (wall for the real engine, virtual for the
+// sim engine).
+type Stats struct {
+	BytesShared int64 // one-sided bytes moved within a shared-memory domain
+	BytesRemote int64 // one-sided bytes moved between domains (RMA)
+	GetsShared  int64
+	GetsRemote  int64
+	Puts        int64
+	Msgs        int64 // two-sided messages sent
+	MsgBytes    int64
+	Flops       float64
+	ComputeTime float64
+	WaitTime    float64 // time blocked in Wait/Recv/Get
+	PackTime    float64
+	BarrierTime float64
+	StealTime   float64 // CPU time stolen servicing non-zero-copy remote ops
+	// ScratchBytes counts local scratch allocated via LocalBuf — the
+	// algorithm's memory footprint beyond the distributed operands
+	// themselves (communication buffers, panels, redistribution staging).
+	ScratchBytes int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.BytesShared += o.BytesShared
+	s.BytesRemote += o.BytesRemote
+	s.GetsShared += o.GetsShared
+	s.GetsRemote += o.GetsRemote
+	s.Puts += o.Puts
+	s.Msgs += o.Msgs
+	s.MsgBytes += o.MsgBytes
+	s.Flops += o.Flops
+	s.ComputeTime += o.ComputeTime
+	s.WaitTime += o.WaitTime
+	s.PackTime += o.PackTime
+	s.BarrierTime += o.BarrierTime
+	s.StealTime += o.StealTime
+	s.ScratchBytes += o.ScratchBytes
+}
+
+// Topology describes how ranks map onto physical nodes and shared-memory
+// domains. On clusters a domain is an SMP node; on the SGI Altix and Cray X1
+// the paper treats the whole machine as one domain even though the hardware
+// is built from small bricks, so the two notions are kept separate.
+type Topology struct {
+	NProcs       int
+	ProcsPerNode int
+	// DomainSpansMachine marks scalable shared-memory systems where every
+	// rank can load/store (or memcpy) any other rank's segment.
+	DomainSpansMachine bool
+}
+
+// Validate checks the topology is usable.
+func (t Topology) Validate() error {
+	if t.NProcs <= 0 {
+		return fmt.Errorf("rt: %d processes", t.NProcs)
+	}
+	if t.ProcsPerNode <= 0 {
+		return fmt.Errorf("rt: %d procs per node", t.ProcsPerNode)
+	}
+	return nil
+}
+
+// NumNodes returns the number of physical nodes (the last may be partial).
+func (t Topology) NumNodes() int {
+	return (t.NProcs + t.ProcsPerNode - 1) / t.ProcsPerNode
+}
+
+// NodeOf returns the physical node of rank.
+func (t Topology) NodeOf(rank int) int { return rank / t.ProcsPerNode }
+
+// DomainOf returns the shared-memory domain of rank.
+func (t Topology) DomainOf(rank int) int {
+	if t.DomainSpansMachine {
+		return 0
+	}
+	return t.NodeOf(rank)
+}
+
+// SameDomain reports whether two ranks share a memory domain.
+func (t Topology) SameDomain(a, b int) bool { return t.DomainOf(a) == t.DomainOf(b) }
+
+// Ctx is the per-process runtime handle. All methods are called from the
+// process's own goroutine. Element counts are float64 elements; engines
+// convert to bytes (8 per element) for transport accounting.
+type Ctx interface {
+	// Identity and topology.
+	Rank() int
+	Size() int
+	Topo() Topology
+
+	// Now returns seconds since the run started (virtual or wall).
+	Now() float64
+	// Stats returns this process's accounting (live; read after the run).
+	Stats() *Stats
+
+	// Malloc collectively allocates a Global with `elems` elements on every
+	// rank (ranks may pass different sizes; all must call). Free releases it
+	// collectively.
+	Malloc(elems int) Global
+	Free(g Global)
+	// LocalBuf allocates process-local scratch.
+	LocalBuf(elems int) Buffer
+	// Local returns this rank's own segment of g for in-place use.
+	Local(g Global) Buffer
+	// CanDirect reports whether rank's segment of a Global may be accessed
+	// directly (same shared-memory domain and, on the sim engine, a
+	// platform whose remote memory is load/store accessible).
+	CanDirect(rank int) bool
+	// Direct returns rank's segment for direct load/store access. Panics if
+	// !CanDirect(rank).
+	Direct(g Global, rank int) Buffer
+
+	// One-sided operations (ARMCI model). Get copies n elements from
+	// rank's segment of g at offset off into dst at dstOff, blocking. NbGet
+	// is its nonblocking form completed by Wait. Put is the symmetric
+	// blocking write.
+	Get(g Global, rank, off, n int, dst Buffer, dstOff int)
+	NbGet(g Global, rank, off, n int, dst Buffer, dstOff int) Handle
+	// NbGetSub is the strided form (ARMCI_NbGetS): fetch the rows x cols
+	// sub-block starting at element off of rank's segment, whose rows are
+	// ld elements apart, packing it tight row-major into dst at dstOff.
+	// SRUMMA fetches exactly the sub-blocks its tasks multiply, so on
+	// misaligned (transposed / p != q) layouts it moves no excess data.
+	NbGetSub(g Global, rank, off, ld, rows, cols int, dst Buffer, dstOff int) Handle
+	Put(src Buffer, srcOff, n int, g Global, rank, off int)
+	// NbPut is the nonblocking put completed by Wait. The source buffer
+	// must not be reused until completion.
+	NbPut(src Buffer, srcOff, n int, g Global, rank, off int) Handle
+	// NbPutSub is the strided put (ARMCI_NbPutS): scatter a tight
+	// row-major rows x cols block from src at srcOff into rank's segment
+	// at element off with row stride ld.
+	NbPutSub(src Buffer, srcOff int, g Global, rank, off, ld, rows, cols int) Handle
+	// Acc atomically accumulates (ARMCI_Acc): rank's segment[off+i] +=
+	// alpha * src[srcOff+i] for i in [0, n). Blocking; concurrent Accs to
+	// overlapping regions are safe.
+	Acc(alpha float64, src Buffer, srcOff, n int, g Global, rank, off int)
+	// FetchAdd atomically adds delta to element off of rank's segment and
+	// returns the PREVIOUS value (ARMCI_Rmw / GA read_inc) — the primitive
+	// behind Global Arrays' dynamic load balancing. Blocking; linearizable
+	// with respect to other FetchAdds on the same element. The sim engine
+	// maintains real counter values (control flow depends on them) while
+	// charging a round trip to the owner.
+	FetchAdd(g Global, rank, off int, delta float64) float64
+	Wait(h Handle)
+
+	// Two-sided operations (MPI model).
+	Send(to, tag int, src Buffer, off, n int)
+	Recv(from, tag int, dst Buffer, off, n int)
+	Isend(to, tag int, src Buffer, off, n int) Handle
+	Irecv(from, tag int, dst Buffer, off, n int) Handle
+
+	// Barrier synchronizes all ranks.
+	Barrier()
+
+	// Gemm computes c = alpha*op(a)*op(b) + beta*c. The real engine executes
+	// it; the sim engine charges modeled time.
+	Gemm(alpha float64, a, b Mat, beta float64, c Mat)
+	// Pack copies the src view into dst as a tight row-major block starting
+	// at dstOff (charging memory-copy cost on the sim engine).
+	Pack(src Mat, dst Buffer, dstOff int)
+	// Unpack is the inverse: scatter a tight block from src at srcOff into
+	// the dst view.
+	Unpack(src Buffer, srcOff int, dst Mat)
+	// UnpackTranspose scatters a tight row-major (dst.Cols x dst.Rows)
+	// block from src at srcOff into the dst view transposed:
+	// dst(i,j) = block(j,i). Redistribution of transposed operands (the
+	// pdgemm baseline's PxTRANS step) is built on it.
+	UnpackTranspose(src Buffer, srcOff int, dst Mat)
+
+	// WriteBuf and ReadBuf are harness operations OUTSIDE the performance
+	// model: they initialize inputs and extract results at zero modeled
+	// cost. The real engine moves actual data; the sim engine only
+	// validates ranges (ReadBuf returns nil there).
+	WriteBuf(dst Buffer, off int, vals []float64)
+	ReadBuf(src Buffer, off, n int) []float64
+}

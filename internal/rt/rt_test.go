@@ -1,0 +1,121 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type fakeBuf int
+
+func (f fakeBuf) Len() int { return int(f) }
+
+func TestMatValid(t *testing.T) {
+	buf := fakeBuf(100)
+	good := []Mat{
+		{Buf: buf, LD: 10, Rows: 10, Cols: 10},
+		{Buf: buf, Off: 5, LD: 5, Rows: 19, Cols: 5},
+		{Buf: buf, Off: 99, LD: 1, Rows: 1, Cols: 1},
+		{Buf: buf, LD: 0, Rows: 7, Cols: 0},  // zero-width views allowed
+		{Buf: buf, LD: 10, Rows: 0, Cols: 3}, // zero-height views allowed
+	}
+	for i, m := range good {
+		if err := m.Valid(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []struct {
+		m    Mat
+		want string
+	}{
+		{Mat{LD: 1, Rows: 1, Cols: 1}, "nil buffer"},
+		{Mat{Buf: buf, LD: 2, Rows: 3, Cols: 4}, "malformed"}, // LD < Cols
+		{Mat{Buf: buf, Off: -1, LD: 4, Rows: 1, Cols: 1}, "malformed"},
+		{Mat{Buf: buf, LD: 10, Rows: -2, Cols: 1}, "malformed"},
+		{Mat{Buf: buf, Off: 95, LD: 10, Rows: 2, Cols: 2}, "overruns"},
+		{Mat{Buf: buf, LD: 10, Rows: 11, Cols: 10}, "overruns"},
+	}
+	for i, tc := range bad {
+		err := tc.m.Valid()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("bad[%d]: err = %v, want contains %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestMatOpShapeAndElems(t *testing.T) {
+	m := Mat{Buf: fakeBuf(100), LD: 10, Rows: 4, Cols: 7}
+	if r, c := m.OpShape(); r != 4 || c != 7 {
+		t.Fatalf("OpShape = %d,%d", r, c)
+	}
+	m.Trans = true
+	if r, c := m.OpShape(); r != 7 || c != 4 {
+		t.Fatalf("transposed OpShape = %d,%d", r, c)
+	}
+	if m.Elems() != 28 {
+		t.Fatalf("Elems = %d", m.Elems())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{NProcs: 4, ProcsPerNode: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Topology{NProcs: 0, ProcsPerNode: 2}).Validate(); err == nil {
+		t.Fatal("want error for 0 procs")
+	}
+	if err := (Topology{NProcs: 4, ProcsPerNode: 0}).Validate(); err == nil {
+		t.Fatal("want error for 0 ppn")
+	}
+}
+
+func TestTopologyNodeMath(t *testing.T) {
+	topo := Topology{NProcs: 10, ProcsPerNode: 4}
+	if topo.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", topo.NumNodes())
+	}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(9) != 2 {
+		t.Fatal("NodeOf wrong")
+	}
+	if !topo.SameDomain(0, 3) || topo.SameDomain(3, 4) {
+		t.Fatal("SameDomain wrong for node domains")
+	}
+	shared := Topology{NProcs: 10, ProcsPerNode: 4, DomainSpansMachine: true}
+	if !shared.SameDomain(0, 9) || shared.DomainOf(7) != 0 {
+		t.Fatal("machine-wide domain wrong")
+	}
+	// Physical nodes still distinct under a machine-wide domain.
+	if shared.NodeOf(9) != 2 {
+		t.Fatal("NodeOf must ignore DomainSpansMachine")
+	}
+}
+
+func TestTopologyQuickNodeContainsRank(t *testing.T) {
+	f := func(np, ppn uint8) bool {
+		topo := Topology{NProcs: 1 + int(np%64), ProcsPerNode: 1 + int(ppn%8)}
+		for r := 0; r < topo.NProcs; r++ {
+			n := topo.NodeOf(r)
+			if n < 0 || n >= topo.NumNodes() {
+				return false
+			}
+			if topo.DomainOf(r) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BytesShared: 1, BytesRemote: 2, GetsShared: 3, GetsRemote: 4, Puts: 5,
+		Msgs: 6, MsgBytes: 7, Flops: 8, ComputeTime: 9, WaitTime: 10,
+		PackTime: 11, BarrierTime: 12, StealTime: 13}
+	b := a
+	b.Add(&a)
+	if b.BytesShared != 2 || b.StealTime != 26 || b.Flops != 16 || b.MsgBytes != 14 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+}

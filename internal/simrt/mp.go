@@ -1,0 +1,145 @@
+package simrt
+
+// Two-sided (MPI-model) communication for the sim engine. See the package
+// comment for the protocol model. Matching follows MPI's non-overtaking
+// rule per (source, destination, tag) triple.
+
+import (
+	"fmt"
+
+	"srumma/internal/rt"
+	"srumma/internal/vtime"
+)
+
+type msgKey struct {
+	src, dst, tag int
+}
+
+// simMsg is one in-flight message.
+type simMsg struct {
+	bytes       int64
+	eager       bool
+	srcNode     int
+	dstNode     int
+	senderDone  *vtime.Handle
+	recvDone    *vtime.Handle
+	arrived     bool // eager: wire transfer finished before the recv matched
+	recvPosted  bool
+	senderReady bool // rendezvous: sender has entered Wait/Send
+	started     bool // rendezvous: wire transfer launched
+}
+
+// pendingRecv is a posted receive with no matching send yet.
+type pendingRecv struct {
+	done *vtime.Handle
+}
+
+// eagerBytes reports whether a message of this size uses the eager
+// protocol.
+func (w *world) eagerBytes(bytes int64) bool {
+	return bytes <= int64(w.prof.EagerThreshold)
+}
+
+// maybeStart launches a rendezvous transfer once both sides are committed:
+// the sender is inside Wait/Send and the receive is posted. The handshake
+// costs a full round trip on top of the per-message latency.
+func (w *world) maybeStart(m *simMsg) {
+	if m.started || m.eager || !m.senderReady || !m.recvPosted {
+		return
+	}
+	m.started = true
+	lat := vtime.FromSeconds(3 * w.prof.MPILatency) // request + ack + data start
+	wire := w.net.Transfer(m.srcNode, m.dstNode, m.bytes, lat, w.prof.MPIBW)
+	wire.OnFire(func() {
+		m.senderDone.Fire()
+		m.recvDone.Fire()
+	})
+}
+
+func (c *ctx) Isend(to, tag int, src rt.Buffer, off, n int) rt.Handle {
+	c.checkRange("Isend src", src.Len(), off, n)
+	if to < 0 || to >= c.Size() {
+		panic(fmt.Sprintf("simrt: Isend to rank %d of %d", to, c.Size()))
+	}
+	w := c.w
+	bytes := int64(n) * 8
+	c.stats.Msgs++
+	c.stats.MsgBytes += bytes
+	key := msgKey{src: c.Rank(), dst: to, tag: tag}
+	m := &simMsg{
+		bytes:      bytes,
+		srcNode:    w.topo.NodeOf(c.Rank()),
+		dstNode:    w.topo.NodeOf(to),
+		senderDone: w.k.NewHandle(),
+		recvDone:   w.k.NewHandle(),
+	}
+	// Match a waiting receive, if any (non-overtaking: FIFO per key).
+	if q := w.recvs[key]; len(q) > 0 {
+		pr := q[0]
+		w.recvs[key] = q[1:]
+		m.recvPosted = true
+		m.recvDone.OnFire(pr.done.Fire)
+	} else {
+		w.sends[key] = append(w.sends[key], m)
+	}
+	if w.eagerBytes(bytes) {
+		m.eager = true
+		// Sender copies into a system buffer: busy time now, then free.
+		c.stats.PackTime += float64(bytes) / w.prof.MemBW
+		c.p.Advance(vtime.FromSeconds(float64(bytes) / w.prof.MemBW))
+		wire := w.net.Transfer(m.srcNode, m.dstNode, m.bytes,
+			vtime.FromSeconds(w.prof.MPILatency), w.prof.MPIBW)
+		wire.OnFire(func() {
+			m.arrived = true
+			if m.recvPosted {
+				m.recvDone.Fire()
+			}
+		})
+		m.senderDone.Fire()
+		return &handle{h: m.senderDone}
+	}
+	// Rendezvous: nothing moves until the sender re-enters the library —
+	// the next Wait/Recv/Barrier progresses it (see world.progress).
+	w.unstarted[c.Rank()] = append(w.unstarted[c.Rank()], m)
+	return &handle{h: m.senderDone}
+}
+
+func (c *ctx) Send(to, tag int, src rt.Buffer, off, n int) {
+	c.Wait(c.Isend(to, tag, src, off, n))
+}
+
+func (c *ctx) Irecv(from, tag int, dst rt.Buffer, off, n int) rt.Handle {
+	c.checkRange("Irecv dst", dst.Len(), off, n)
+	if from < 0 || from >= c.Size() {
+		panic(fmt.Sprintf("simrt: Irecv from rank %d of %d", from, c.Size()))
+	}
+	w := c.w
+	bytes := int64(n) * 8
+	key := msgKey{src: from, dst: c.Rank(), tag: tag}
+	// Receiver-side copy-out applies to eager messages only (rendezvous
+	// delivers into the user buffer).
+	var post vtime.Time
+	if w.eagerBytes(bytes) {
+		post = vtime.FromSeconds(float64(bytes) / w.prof.MemBW)
+	}
+	if q := w.sends[key]; len(q) > 0 {
+		m := q[0]
+		w.sends[key] = q[1:]
+		if m.bytes != bytes {
+			panic(fmt.Sprintf("simrt: message size mismatch: sent %d bytes, receiving %d", m.bytes, bytes))
+		}
+		m.recvPosted = true
+		if m.eager && m.arrived {
+			m.recvDone.Fire()
+		}
+		w.maybeStart(m)
+		return &handle{h: m.recvDone, postWait: post}
+	}
+	pr := &pendingRecv{done: w.k.NewHandle()}
+	w.recvs[key] = append(w.recvs[key], pr)
+	return &handle{h: pr.done, postWait: post}
+}
+
+func (c *ctx) Recv(from, tag int, dst rt.Buffer, off, n int) {
+	c.Wait(c.Irecv(from, tag, dst, off, n))
+}

@@ -1,0 +1,164 @@
+package simrt
+
+import (
+	"strings"
+	"testing"
+
+	"srumma/internal/rt"
+)
+
+func TestSimNbGetSubCostsLikeContiguous(t *testing.T) {
+	prof := testProfile()
+	elems := 1 << 14
+	timeOf := func(body func(c rt.Ctx, g rt.Global)) float64 {
+		res, err := Run(prof, 4, func(c rt.Ctx) {
+			g := c.Malloc(elems * 2) // collective: every rank allocates
+			if c.Rank() == 0 {
+				body(c, g)
+			}
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	tSub := timeOf(func(c rt.Ctx, g rt.Global) {
+		dst := c.LocalBuf(elems)
+		c.Wait(c.NbGetSub(g, 2, 0, elems*2/128, 128, elems/128, dst, 0))
+	})
+	tFlat := timeOf(func(c rt.Ctx, g rt.Global) {
+		dst := c.LocalBuf(elems)
+		c.Wait(c.NbGet(g, 2, 0, elems, dst, 0))
+	})
+	if d := tSub - tFlat; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("strided get should cost like contiguous: %g vs %g", tSub, tFlat)
+	}
+}
+
+func TestSimPutsAndPutSub(t *testing.T) {
+	prof := testProfile()
+	res, err := Run(prof, 4, func(c rt.Ctx) {
+		g := c.Malloc(1 << 12)
+		if c.Rank() == 0 {
+			src := c.LocalBuf(1 << 12)
+			c.Put(src, 0, 1<<12, g, 2, 0)                  // blocking remote put
+			c.Wait(c.NbPut(src, 0, 1<<12, g, 2, 0))        // nonblocking remote
+			c.Wait(c.NbPut(src, 0, 256, g, 1, 0))          // same-node (sync)
+			c.Wait(c.NbPutSub(src, 0, g, 2, 0, 64, 8, 32)) // strided remote
+			c.Wait(c.NbPutSub(src, 0, g, 1, 0, 64, 8, 32)) // strided local-domain
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats[0]
+	if s.Puts != 5 {
+		t.Fatalf("puts = %d", s.Puts)
+	}
+	if s.BytesRemote == 0 || s.BytesShared == 0 {
+		t.Fatalf("byte classes not charged: %+v", s)
+	}
+	if res.Time <= 0 {
+		t.Fatal("puts cost nothing")
+	}
+}
+
+func TestSimAccChargesOwnerSteal(t *testing.T) {
+	prof := testProfile()
+	prof.CopyBW = 1e9
+	res, err := Run(prof, 4, func(c rt.Ctx) {
+		g := c.Malloc(1 << 14)
+		c.Barrier()
+		if c.Rank() == 0 {
+			src := c.LocalBuf(1 << 14)
+			c.Acc(1, src, 0, 1<<14, g, 2, 0)
+		}
+		c.Barrier()
+		if c.Rank() == 2 {
+			// Victim's next compute absorbs the accumulate work.
+			b := c.LocalBuf(64)
+			m := rt.Mat{Buf: b, LD: 8, Rows: 8, Cols: 8}
+			cb := c.LocalBuf(64)
+			c.Gemm(1, m, m, 0, rt.Mat{Buf: cb, LD: 8, Rows: 8, Cols: 8})
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[2].StealTime <= 0 {
+		t.Fatal("owner not charged for the accumulate")
+	}
+	if res.Stats[0].StealTime != 0 {
+		t.Fatal("initiator wrongly charged")
+	}
+}
+
+func TestSimLocalAccAdvancesCaller(t *testing.T) {
+	res, err := Run(testProfile(), 2, func(c rt.Ctx) {
+		g := c.Malloc(1 << 12)
+		if c.Rank() == 0 {
+			src := c.LocalBuf(1 << 12)
+			c.Acc(1, src, 0, 1<<12, g, 0, 0) // self-accumulate
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatal("local accumulate cost nothing")
+	}
+}
+
+func TestSimPackUnpackTranspose(t *testing.T) {
+	res, err := Run(testProfile(), 1, func(c rt.Ctx) {
+		src := c.LocalBuf(64)
+		dst := c.LocalBuf(64)
+		c.Pack(rt.Mat{Buf: src, LD: 8, Rows: 4, Cols: 8}, dst, 0)
+		c.Unpack(dst, 0, rt.Mat{Buf: src, LD: 8, Rows: 4, Cols: 8})
+		c.UnpackTranspose(dst, 0, rt.Mat{Buf: src, LD: 8, Rows: 8, Cols: 8})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[0].PackTime <= 0 {
+		t.Fatal("pack cost not charged")
+	}
+}
+
+func TestSimWriteReadBufValidateOnly(t *testing.T) {
+	_, err := Run(testProfile(), 1, func(c rt.Ctx) {
+		b := c.LocalBuf(8)
+		c.WriteBuf(b, 0, make([]float64, 8))
+		if c.ReadBuf(b, 0, 8) != nil {
+			panic("sim ReadBuf must return nil")
+		}
+		if c.Topo().NProcs != 1 {
+			panic("Topo wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range violations surface as panics.
+	_, err = Run(testProfile(), 1, func(c rt.Ctx) {
+		b := c.LocalBuf(4)
+		c.WriteBuf(b, 2, make([]float64, 8))
+	})
+	if err == nil || !strings.Contains(err.Error(), "WriteBuf") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimFetchAddRangeError(t *testing.T) {
+	_, err := Run(testProfile(), 2, func(c rt.Ctx) {
+		g := c.Malloc(2)
+		c.FetchAdd(g, 0, 7, 1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "FetchAdd") {
+		t.Fatalf("err = %v", err)
+	}
+}

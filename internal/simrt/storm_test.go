@@ -1,0 +1,124 @@
+package simrt
+
+// Message-storm property tests: pseudo-random two-sided traffic patterns
+// (mixing eager and rendezvous sizes, blocking and nonblocking calls) must
+// terminate, stay deterministic, and conserve message counts. Both sides
+// derive the same schedule from the seed, so every send has a matching
+// receive by construction.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// stormSchedule derives, from a seed, a list of (sender, receiver, elems)
+// messages. Sizes straddle the eager threshold (16 KB = 2048 elems).
+func stormSchedule(seed uint64, nprocs, count int) [][3]int {
+	rng := mat.NewRNG(seed)
+	out := make([][3]int, count)
+	for i := range out {
+		src := rng.Intn(nprocs)
+		dst := rng.Intn(nprocs)
+		if dst == src {
+			dst = (dst + 1) % nprocs
+		}
+		elems := 1 + rng.Intn(4096) // up to 32 KB, both protocols
+		out[i] = [3]int{src, dst, elems}
+	}
+	return out
+}
+
+func runStorm(t *testing.T, seed uint64, nprocs, count int) float64 {
+	t.Helper()
+	sched := stormSchedule(seed, nprocs, count)
+	res, err := Run(testProfile(), nprocs, func(c rt.Ctx) {
+		me := c.Rank()
+		// Post all my receives first (nonblocking), then send everything I
+		// owe, then drain.
+		var recvs []rt.Handle
+		for i, m := range sched {
+			if m[1] == me {
+				buf := c.LocalBuf(m[2])
+				recvs = append(recvs, c.Irecv(m[0], i, buf, 0, m[2]))
+			}
+		}
+		var sends []rt.Handle
+		for i, m := range sched {
+			if m[0] == me {
+				buf := c.LocalBuf(m[2])
+				if i%3 == 0 {
+					c.Send(m[1], i, buf, 0, m[2]) // blocking flavor
+				} else {
+					sends = append(sends, c.Isend(m[1], i, buf, 0, m[2]))
+				}
+			}
+		}
+		for _, h := range sends {
+			c.Wait(h)
+		}
+		for _, h := range recvs {
+			c.Wait(h)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	var msgs int64
+	for _, s := range res.Stats {
+		msgs += s.Msgs
+	}
+	if int(msgs) != count {
+		t.Fatalf("seed %d: %d messages sent, want %d", seed, msgs, count)
+	}
+	return res.Time
+}
+
+func TestMessageStormTerminates(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		if tt := runStorm(t, seed, 6, 60); tt <= 0 {
+			t.Fatalf("seed %d: zero time", seed)
+		}
+	}
+}
+
+func TestMessageStormDeterministic(t *testing.T) {
+	a := runStorm(t, 42, 8, 80)
+	b := runStorm(t, 42, 8, 80)
+	if a != b {
+		t.Fatalf("nondeterministic storm: %v vs %v", a, b)
+	}
+}
+
+func TestMessageStormQuick(t *testing.T) {
+	f := func(seed uint64, np, cnt uint8) bool {
+		nprocs := 2 + int(np%6)
+		count := 10 + int(cnt%40)
+		sched := stormSchedule(seed, nprocs, count)
+		res, err := Run(testProfile(), nprocs, func(c rt.Ctx) {
+			me := c.Rank()
+			var hs []rt.Handle
+			for i, m := range sched {
+				if m[1] == me {
+					hs = append(hs, c.Irecv(m[0], i, c.LocalBuf(m[2]), 0, m[2]))
+				}
+			}
+			for i, m := range sched {
+				if m[0] == me {
+					hs = append(hs, c.Isend(m[1], i, c.LocalBuf(m[2]), 0, m[2]))
+				}
+			}
+			for _, h := range hs {
+				c.Wait(h)
+			}
+			c.Barrier()
+		})
+		return err == nil && res.Time > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package simrt
+
+// Optional event tracing: RunTraced collects a per-rank activity timeline
+// (compute, communication waits, copies, barriers) from the virtual clock,
+// which cmd/srumma-trace renders as a pipeline view. Tracing is off in
+// normal runs so the harness pays nothing for it.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srumma/internal/machine"
+	"srumma/internal/rt"
+)
+
+// Event is one traced activity interval on one rank, in virtual seconds.
+type Event struct {
+	Rank       int
+	Kind       string // "gemm", "wait", "copy", "pack", "barrier", "steal"
+	Start, End float64
+}
+
+// Duration returns the event length in seconds.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Tracer accumulates events from a traced run.
+type Tracer struct {
+	Events []Event
+}
+
+func (tr *Tracer) add(rank int, kind string, start, end float64) {
+	if tr == nil || end <= start {
+		return
+	}
+	tr.Events = append(tr.Events, Event{Rank: rank, Kind: kind, Start: start, End: end})
+}
+
+// ByRank returns the events of one rank in start order.
+func (tr *Tracer) ByRank(rank int) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Rank == rank {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Summary aggregates per-kind busy time over all ranks.
+func (tr *Tracer) Summary() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range tr.Events {
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// Timeline renders rank timelines as fixed-width activity bars: one row
+// per rank, `width` character cells spanning [0, horizon] seconds, with
+// g=gemm, w=wait, c=copy, p=pack, b=barrier, s=steal, '.'=idle. Later
+// events overwrite earlier ones within a cell.
+func (tr *Tracer) Timeline(nprocs, width int, horizon float64) string {
+	if horizon <= 0 || width <= 0 {
+		return ""
+	}
+	glyph := map[string]byte{"gemm": 'g', "wait": 'w', "copy": 'c', "pack": 'p', "barrier": 'b', "steal": 's'}
+	var b strings.Builder
+	for r := 0; r < nprocs; r++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range tr.ByRank(r) {
+			lo := int(e.Start / horizon * float64(width))
+			hi := int(e.End / horizon * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i >= 0; i++ {
+				row[i] = glyph[e.Kind]
+			}
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
+	}
+	return b.String()
+}
+
+// RunTraced is Run with an event collector attached.
+func RunTraced(prof machine.Profile, nprocs int, tr *Tracer, body func(rt.Ctx)) (*Result, error) {
+	return run(prof, nprocs, tr, body)
+}

@@ -1,0 +1,84 @@
+package vtime
+
+import "testing"
+
+// TestManyProcsManyEvents drives the kernel through ~100k events to shake
+// out heap and turn-passing bugs at scale and to confirm determinism holds
+// beyond toy sizes.
+func TestManyProcsManyEvents(t *testing.T) {
+	run := func() Time {
+		k := NewKernel()
+		b := k.NewBarrier(64)
+		err := k.Run(64, func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				p.Advance(Time((p.Rank()*31+i*17)%97+1) * Nanosecond)
+				if i%50 == 49 {
+					b.Arrive(p)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	a, bTime := run(), run()
+	if a != bTime {
+		t.Fatalf("nondeterministic under load: %v vs %v", a, bTime)
+	}
+	if a <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+// TestHandleFanout has one handle wake many waiters at once.
+func TestHandleFanout(t *testing.T) {
+	k := NewKernel()
+	h := k.NewHandle()
+	woke := 0
+	err := k.Run(128, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Advance(Microsecond)
+			h.Fire()
+			return
+		}
+		p.Wait(h)
+		woke++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke != 127 {
+		t.Fatalf("woke %d of 127", woke)
+	}
+}
+
+// TestCallbackChains exercises OnFire chains several layers deep.
+func TestCallbackChains(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	err := k.Run(1, func(p *Proc) {
+		h1 := k.NewHandle()
+		h2 := k.NewHandle()
+		h3 := k.NewHandle()
+		h1.OnFire(func() { order = append(order, 1); h2.Fire() })
+		h2.OnFire(func() { order = append(order, 2); h3.Fire() })
+		h3.OnFire(func() { order = append(order, 3) })
+		k.After(Microsecond, h1.Fire)
+		p.Wait(h3)
+		// Registering on an already-fired handle runs immediately.
+		h3.OnFire(func() { order = append(order, 4) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}

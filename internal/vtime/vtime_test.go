@@ -1,0 +1,301 @@
+package vtime
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1).Seconds() != 1 {
+		t.Fatal("1s round trip failed")
+	}
+	if FromSeconds(1e-6) != Microsecond {
+		t.Fatalf("1e-6 s = %d ps, want %d", FromSeconds(1e-6), Microsecond)
+	}
+	if d := FromSeconds(2.5e-9); d != 2500*Picosecond {
+		t.Fatalf("2.5 ns = %d ps", d)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	for _, tc := range []struct {
+		d    Time
+		want string
+	}{
+		{2 * Second, "2s"}, {3 * Millisecond, "3ms"}, {4 * Microsecond, "4us"}, {5 * Nanosecond, "5ns"},
+	} {
+		if got := tc.d.String(); !strings.HasPrefix(got, tc.want) {
+			t.Errorf("%d.String() = %q, want prefix %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestSingleProcAdvance(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	err := k.Run(1, func(p *Proc) {
+		p.Advance(5 * Microsecond)
+		p.Advance(3 * Microsecond)
+		end = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 8*Microsecond {
+		t.Fatalf("end = %v, want 8us", end)
+	}
+}
+
+func TestProcsInterleaveInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	err := k.Run(3, func(p *Proc) {
+		// Rank r wakes at (3-r) us, so completion order is 2, 1, 0.
+		p.Advance(Time(3-p.Rank()) * Microsecond)
+		order = append(order, p.Rank())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAtCallbackRunsAtTime(t *testing.T) {
+	k := NewKernel()
+	var fired Time
+	err := k.Run(1, func(p *Proc) {
+		k.At(7*Microsecond, func() { fired = k.Now() })
+		p.Advance(10 * Microsecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 7*Microsecond {
+		t.Fatalf("callback fired at %v", fired)
+	}
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	k := NewKernel()
+	err := k.Run(1, func(p *Proc) {
+		p.Advance(Microsecond)
+		k.At(0, func() {})
+	})
+	if err == nil || !strings.Contains(err.Error(), "before now") {
+		t.Fatalf("expected past-scheduling panic, got %v", err)
+	}
+}
+
+func TestHandleWaitAfterFire(t *testing.T) {
+	k := NewKernel()
+	err := k.Run(1, func(p *Proc) {
+		h := k.NewHandle()
+		h.Fire()
+		h.Fire() // idempotent
+		if !h.Done() {
+			t.Error("handle not done after Fire")
+		}
+		p.Wait(h) // must not block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleWakesWaiter(t *testing.T) {
+	k := NewKernel()
+	h := k.NewHandle()
+	var wokeAt Time
+	err := k.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Wait(h)
+			wokeAt = p.Now()
+		} else {
+			p.Advance(4 * Microsecond)
+			h.Fire()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 4*Microsecond {
+		t.Fatalf("waiter woke at %v", wokeAt)
+	}
+}
+
+func TestDeterministicEventOrder(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		var order []int
+		_ = k.Run(4, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(Microsecond) // all procs collide at the same instants
+				order = append(order, p.Rank())
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("len=%d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	h := k.NewHandle() // never fired
+	err := k.Run(2, func(p *Proc) {
+		if p.Rank() == 1 {
+			p.Wait(h)
+		}
+	})
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != 1 {
+		t.Fatalf("blocked = %v", dl.Blocked)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	err := k.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Advance(Microsecond)
+			panic("boom")
+		}
+		p.Advance(50 * Microsecond)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "process 0") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k := NewKernel()
+	b := k.NewBarrier(3)
+	times := make([]Time, 3)
+	err := k.Run(3, func(p *Proc) {
+		p.Advance(Time(p.Rank()+1) * Microsecond)
+		b.Arrive(p)
+		times[p.Rank()] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, tm := range times {
+		if tm != 3*Microsecond {
+			t.Fatalf("rank %d released at %v", r, tm)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	k := NewKernel()
+	b := k.NewBarrier(2)
+	var rounds int32
+	err := k.Run(2, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Advance(Time(p.Rank()+1) * Microsecond)
+			b.Arrive(p)
+		}
+		atomic.AddInt32(&rounds, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestAdvanceZeroYields(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	err := k.Run(2, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Advance(0)
+			order = append(order, 0)
+		} else {
+			order = append(order, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0 yielded, so proc 1 (started later but never blocked) runs its
+	// append first.
+	if order[0] != 1 || order[1] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	k := NewKernel()
+	err := k.Run(1, func(p *Proc) { p.Advance(-1) })
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMonotonicTimeQuick(t *testing.T) {
+	// Property: however processes advance, observed time never decreases.
+	f := func(deltas []uint16) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		if len(deltas) > 64 {
+			deltas = deltas[:64]
+		}
+		k := NewKernel()
+		ok := true
+		err := k.Run(2, func(p *Proc) {
+			last := p.Now()
+			for i, d := range deltas {
+				if i%2 == p.Rank() {
+					p.Advance(Time(d) * Nanosecond)
+				} else {
+					p.Yield()
+				}
+				if p.Now() < last {
+					ok = false
+				}
+				last = p.Now()
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(1, func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	_ = k.Run(1, func(p *Proc) {})
+}
+
+func TestRunZeroProcsErrors(t *testing.T) {
+	if err := NewKernel().Run(0, func(p *Proc) {}); err == nil {
+		t.Fatal("expected error")
+	}
+}

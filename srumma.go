@@ -1,0 +1,334 @@
+// Package srumma is a Go reproduction of SRUMMA (Krishnan & Nieplocha,
+// IPDPS 2004): a parallel dense matrix multiplication built on one-sided
+// remote memory access and direct shared-memory access instead of message
+// passing, with Cannon-class algorithmic efficiency.
+//
+// The package offers two ways to run the algorithm:
+//
+//   - A real execution engine (Cluster): SPMD "processes" are goroutines in
+//     one address space communicating through an ARMCI-like one-sided
+//     runtime. Results are real numbers — this is the engine for using the
+//     library and for correctness work.
+//
+//   - A virtual-time simulation engine (Simulate): the same algorithm code
+//     runs against models of the paper's four platforms (Linux/Myrinet
+//     cluster, IBM SP, Cray X1, SGI Altix), reproducing the paper's
+//     performance figures on hardware that no longer exists. See
+//     EXPERIMENTS.md for the paper-vs-model comparison.
+//
+// The message-passing baselines the paper compares against (ScaLAPACK-style
+// pdgemm, SUMMA, Cannon's algorithm) are implemented too and selectable via
+// the Algorithm option.
+package srumma
+
+import (
+	"fmt"
+
+	"srumma/internal/armci"
+	"srumma/internal/cannon"
+	"srumma/internal/core"
+	"srumma/internal/driver"
+	"srumma/internal/fox"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/pdgemm"
+	"srumma/internal/rt"
+	"srumma/internal/summa"
+)
+
+// Matrix is a dense row-major matrix (see its methods for element access,
+// views and comparisons).
+type Matrix = mat.Matrix
+
+// NewMatrix returns a zero r x c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// RandomMatrix returns an r x c matrix with deterministic pseudo-random
+// entries in [-1, 1).
+func RandomMatrix(r, c int, seed uint64) *Matrix { return mat.Random(r, c, seed) }
+
+// Case selects the transpose variant of C = op(A) op(B).
+type Case = core.Case
+
+// Transpose cases.
+const (
+	NN = core.NN // C = A B
+	TN = core.TN // C = Aᵀ B
+	NT = core.NT // C = A Bᵀ
+	TT = core.TT // C = Aᵀ Bᵀ
+)
+
+// Algorithm names.
+const (
+	AlgSRUMMA = "srumma"
+	AlgPdgemm = "pdgemm"
+	AlgSUMMA  = "summa"
+	AlgCannon = "cannon"
+	AlgFox    = "fox"
+)
+
+// MultiplyOptions configure Cluster.Multiply. The zero value runs SRUMMA on
+// C = A B.
+type MultiplyOptions struct {
+	Case Case
+	// Algorithm is one of AlgSRUMMA (default), AlgPdgemm, AlgSUMMA,
+	// AlgCannon or AlgFox (Cannon and Fox require a square process grid
+	// and Case NN).
+	Algorithm string
+	// NB is the panel/tile width for the SUMMA/pdgemm baselines.
+	NB int
+	// SRUMMA ablations (see the paper §3.1): disable the diagonal-shift
+	// task order, the shared-memory-first ordering, or the double-buffered
+	// pipeline.
+	NoDiagonalShift bool
+	NoSharedFirst   bool
+	SingleBuffer    bool
+}
+
+// Report summarizes one Multiply run.
+type Report struct {
+	Seconds float64 // wall time of the slowest process through the multiply
+	GFLOPS  float64 // aggregate 2MNK / time / 1e9
+
+	// Communication accounting summed over processes.
+	BytesShared int64 // one-sided traffic within shared-memory domains
+	BytesRemote int64 // one-sided traffic between domains
+	Messages    int64 // two-sided messages (baselines)
+}
+
+// Cluster is a real execution engine: nprocs SPMD goroutine processes
+// grouped into shared-memory domains of procsPerNode ranks (or one
+// machine-wide domain).
+type Cluster struct {
+	topo     rt.Topology
+	g        *grid.Grid
+	lastComm commTotals
+}
+
+type commTotals struct {
+	shared, remote, msgs int64
+}
+
+// NewCluster creates an engine with nprocs processes, procsPerNode ranks
+// per node, and optionally one machine-wide shared-memory domain (the
+// paper's SGI Altix / Cray X1 configuration).
+func NewCluster(nprocs, procsPerNode int, sharedMachine bool) (*Cluster, error) {
+	topo := rt.Topology{NProcs: nprocs, ProcsPerNode: procsPerNode, DomainSpansMachine: sharedMachine}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.Square(nprocs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{topo: topo, g: g}, nil
+}
+
+// NewClusterFor is NewCluster with the process grid chosen for an m x n
+// result shape instead of defaulting to the most-square factorization:
+// skinny results get stretched grids that minimize per-process
+// communication.
+func NewClusterFor(nprocs, procsPerNode int, sharedMachine bool, m, n int) (*Cluster, error) {
+	topo := rt.Topology{NProcs: nprocs, ProcsPerNode: procsPerNode, DomainSpansMachine: sharedMachine}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.BestFor(nprocs, m, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{topo: topo, g: g}, nil
+}
+
+// Procs returns the process count.
+func (cl *Cluster) Procs() int { return cl.topo.NProcs }
+
+// GridShape returns the process grid dimensions.
+func (cl *Cluster) GridShape() (p, q int) { return cl.g.P, cl.g.Q }
+
+// Multiply computes C = op(A) op(B) in parallel and returns C with a
+// performance report. A and B are the STORED operands: for Case TN pass A
+// as the k x m matrix that will be used transposed, and so on.
+func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Report, error) {
+	d, err := cl.dims(a, b, opts.Case)
+	if err != nil {
+		return nil, nil, err
+	}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = AlgSRUMMA
+	}
+	var cMat *Matrix
+	rep := &Report{}
+	var body func(c rt.Ctx)
+	co := driver.NewCollect(cl.topo.NProcs)
+	durations := make([]float64, cl.topo.NProcs)
+
+	switch alg {
+	case AlgSRUMMA:
+		cOpts := core.Options{
+			Case:            opts.Case,
+			Flavor:          core.FlavorDirect, // real shared memory is cacheable
+			NoDiagonalShift: opts.NoDiagonalShift,
+			NoSharedFirst:   opts.NoSharedFirst,
+			SingleBuffer:    opts.SingleBuffer,
+		}
+		da, db, dc := core.Dists(cl.g, d, opts.Case)
+		body = func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			t0 := c.Now()
+			if err := core.Multiply(c, cl.g, d, cOpts, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+			co.Deposit(c, driver.StoreBlock(c, dc, gc))
+		}
+		if err := cl.run(body); err != nil {
+			return nil, nil, err
+		}
+		dcD := grid.NewBlockDist(cl.g, d.M, d.N)
+		cMat, err = dcD.Gather(co.Blocks)
+	case AlgSUMMA:
+		sOpts := summa.Options{Case: summa.Case(opts.Case), NB: opts.NB}
+		sd := summa.Dims(d)
+		da, db, dc := summa.Dists(cl.g, sd, sOpts.Case)
+		body = func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			t0 := c.Now()
+			if err := summa.Multiply(c, cl.g, sd, sOpts, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+			co.Deposit(c, driver.StoreBlock(c, dc, gc))
+		}
+		if err := cl.run(body); err != nil {
+			return nil, nil, err
+		}
+		cMat, err = dc.Gather(co.Blocks)
+	case AlgPdgemm:
+		pOpts := pdgemm.Options{Case: pdgemm.Case(opts.Case), NB: opts.NB}
+		pd := pdgemm.Dims(d)
+		da, db, dc, derr := pdgemm.Dists(cl.g, pd, pOpts.Case, pOpts.NB)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		body = func(c rt.Ctx) {
+			ga := driver.AllocCyclic(c, da)
+			gb := driver.AllocCyclic(c, db)
+			gc := driver.AllocCyclic(c, dc)
+			driver.LoadCyclic(c, da, ga, a)
+			driver.LoadCyclic(c, db, gb, b)
+			t0 := c.Now()
+			if err := pdgemm.Multiply(c, cl.g, pd, pOpts, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+			co.Deposit(c, driver.StoreCyclic(c, dc, gc))
+		}
+		if err := cl.run(body); err != nil {
+			return nil, nil, err
+		}
+		cMat, err = dc.Gather(co.Blocks)
+	case AlgCannon:
+		if opts.Case != NN {
+			return nil, nil, fmt.Errorf("srumma: Cannon supports C=AB only")
+		}
+		cd := cannon.Dims(d)
+		da, db, dc := cannon.Dists(cl.g, cd)
+		body = func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			t0 := c.Now()
+			if err := cannon.Multiply(c, cl.g, cd, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+			co.Deposit(c, driver.StoreBlock(c, dc, gc))
+		}
+		if err := cl.run(body); err != nil {
+			return nil, nil, err
+		}
+		cMat, err = dc.Gather(co.Blocks)
+	case AlgFox:
+		if opts.Case != NN {
+			return nil, nil, fmt.Errorf("srumma: Fox supports C=AB only")
+		}
+		fd := fox.Dims(d)
+		da, db, dc := fox.Dists(cl.g, fd)
+		body = func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			t0 := c.Now()
+			if err := fox.Multiply(c, cl.g, fd, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+			co.Deposit(c, driver.StoreBlock(c, dc, gc))
+		}
+		if err := cl.run(body); err != nil {
+			return nil, nil, err
+		}
+		cMat, err = dc.Gather(co.Blocks)
+	default:
+		return nil, nil, fmt.Errorf("srumma: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dt := range durations {
+		if dt > rep.Seconds {
+			rep.Seconds = dt
+		}
+	}
+	if rep.Seconds > 0 {
+		rep.GFLOPS = 2 * float64(d.M) * float64(d.N) * float64(d.K) / rep.Seconds / 1e9
+	}
+	rep.BytesShared, rep.BytesRemote, rep.Messages = cl.lastComm.shared, cl.lastComm.remote, cl.lastComm.msgs
+	return cMat, rep, nil
+}
+
+func (cl *Cluster) run(body func(rt.Ctx)) error {
+	stats, err := armci.Run(cl.topo, body)
+	if err != nil {
+		return err
+	}
+	cl.lastComm = commTotals{}
+	for _, s := range stats {
+		cl.lastComm.shared += s.BytesShared
+		cl.lastComm.remote += s.BytesRemote
+		cl.lastComm.msgs += s.Msgs
+	}
+	return nil
+}
+
+// dims derives (M, N, K) from the stored operand shapes and validates
+// conformance.
+func (cl *Cluster) dims(a, b *Matrix, cs Case) (core.Dims, error) {
+	m, k := a.Rows, a.Cols
+	if cs.TransA() {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if cs.TransB() {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb {
+		return core.Dims{}, fmt.Errorf("srumma: inner dimensions disagree: op(A) is %dx%d, op(B) is %dx%d", m, k, kb, n)
+	}
+	d := core.Dims{M: m, N: n, K: k}
+	return d, d.Validate()
+}

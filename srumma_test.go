@@ -1,0 +1,337 @@
+package srumma
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"srumma/internal/mat"
+)
+
+func TestClusterMultiplyMatchesSerial(t *testing.T) {
+	cl, err := NewCluster(4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomMatrix(30, 20, 1)
+	b := RandomMatrix(20, 26, 2)
+	got, rep, err := cl.Multiply(a, b, MultiplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrix(30, 26)
+	if err := mat.GemmNaive(false, false, 1, a, b, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("multiply diff %g", d)
+	}
+	if rep.Seconds <= 0 || rep.GFLOPS <= 0 {
+		t.Fatalf("report not filled: %+v", rep)
+	}
+}
+
+func TestClusterMultiplyTransposeCases(t *testing.T) {
+	cl, err := NewCluster(6, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored shapes so that op(A) is 18x22, op(B) is 22x14.
+	for _, cs := range []Case{NN, TN, NT, TT} {
+		ar, ac := 18, 22
+		if cs.TransA() {
+			ar, ac = 22, 18
+		}
+		br, bc := 22, 14
+		if cs.TransB() {
+			br, bc = 14, 22
+		}
+		a := RandomMatrix(ar, ac, 3)
+		b := RandomMatrix(br, bc, 4)
+		got, _, err := cl.Multiply(a, b, MultiplyOptions{Case: cs})
+		if err != nil {
+			t.Fatalf("%v: %v", cs, err)
+		}
+		want := NewMatrix(18, 14)
+		if err := mat.GemmNaive(cs.TransA(), cs.TransB(), 1, a, b, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("%v diff %g", cs, d)
+		}
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	cl, err := NewCluster(4, 2, false) // square grid so Cannon runs too
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomMatrix(24, 24, 7)
+	b := RandomMatrix(24, 24, 8)
+	var ref *Matrix
+	for _, alg := range []string{AlgSRUMMA, AlgSUMMA, AlgPdgemm, AlgCannon, AlgFox} {
+		got, _, err := cl.Multiply(a, b, MultiplyOptions{Algorithm: alg, NB: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if d := mat.MaxAbsDiff(got, ref); d > 1e-9 {
+			t.Fatalf("%s diverges from SRUMMA by %g", alg, d)
+		}
+	}
+}
+
+func TestMultiplyShapeErrors(t *testing.T) {
+	cl, _ := NewCluster(2, 1, false)
+	if _, _, err := cl.Multiply(RandomMatrix(4, 5, 1), RandomMatrix(6, 4, 2), MultiplyOptions{}); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+	if _, _, err := cl.Multiply(RandomMatrix(4, 4, 1), RandomMatrix(4, 4, 2), MultiplyOptions{Algorithm: "magic"}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+	if _, _, err := cl.Multiply(RandomMatrix(4, 4, 1), RandomMatrix(4, 4, 2), MultiplyOptions{Algorithm: AlgCannon, Case: TN}); err == nil {
+		t.Fatal("expected Cannon transpose error")
+	}
+}
+
+func TestCannonRequiresSquareGrid(t *testing.T) {
+	cl, err := NewCluster(6, 2, false) // 2x3 grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Multiply(RandomMatrix(12, 12, 1), RandomMatrix(12, 12, 2), MultiplyOptions{Algorithm: AlgCannon}); err == nil {
+		t.Fatal("expected non-square grid error from Cannon")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 1, false); err == nil {
+		t.Fatal("expected error for 0 procs")
+	}
+	if _, err := NewCluster(4, 0, false); err == nil {
+		t.Fatal("expected error for 0 procs per node")
+	}
+	cl, err := NewCluster(12, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, q := cl.GridShape(); p*q != 12 || cl.Procs() != 12 {
+		t.Fatalf("grid %dx%d procs %d", p, q, cl.Procs())
+	}
+}
+
+func TestMultiplyQuickPublicAPI(t *testing.T) {
+	cl, err := NewCluster(4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mm, nn, kk, cc uint8) bool {
+		m := 1 + int(mm%16)
+		n := 1 + int(nn%16)
+		k := 1 + int(kk%16)
+		cs := []Case{NN, TN, NT, TT}[cc%4]
+		ar, ac := m, k
+		if cs.TransA() {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if cs.TransB() {
+			br, bc = n, k
+		}
+		a := RandomMatrix(ar, ac, uint64(mm)+1)
+		b := RandomMatrix(br, bc, uint64(nn)+2)
+		got, _, err := cl.Multiply(a, b, MultiplyOptions{Case: cs})
+		if err != nil {
+			return false
+		}
+		want := NewMatrix(m, n)
+		if mat.GemmNaive(cs.TransA(), cs.TransB(), 1, a, b, 0, want) != nil {
+			return false
+		}
+		return mat.MaxAbsDiff(got, want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportCommunicationAccounting(t *testing.T) {
+	cl, _ := NewCluster(4, 2, false)
+	a := RandomMatrix(32, 32, 1)
+	b := RandomMatrix(32, 32, 2)
+	_, rep, err := cl.Multiply(a, b, MultiplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesRemote == 0 {
+		t.Error("expected remote traffic on a 2-node cluster")
+	}
+	_, repPd, err := cl.Multiply(a, b, MultiplyOptions{Algorithm: AlgPdgemm, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repPd.Messages == 0 {
+		t.Error("expected two-sided messages from pdgemm")
+	}
+}
+
+func TestPlatformsList(t *testing.T) {
+	names := Platforms()
+	if len(names) != 6 {
+		t.Fatalf("platforms = %v", names)
+	}
+	for _, want := range []string{"cray-x1", "ibm-sp", "ibm-sp-klapi", "linux-myrinet", "modern-cluster", "sgi-altix"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing platform %s in %v", want, names)
+		}
+	}
+	if _, err := PlatformByName("cray-x1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("pdp-11"); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	rep, err := Simulate(SimOptions{
+		Platform: "sgi-altix",
+		Procs:    16,
+		Dims:     Dims{M: 512, N: 512, K: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds <= 0 || rep.GFLOPS <= 0 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	if _, err := Simulate(SimOptions{Platform: "nope", Procs: 4, Dims: Dims{M: 64, N: 64, K: 64}}); err == nil {
+		t.Fatal("expected unknown platform error")
+	}
+}
+
+func TestSimulateSRUMMAvsPdgemm(t *testing.T) {
+	d := Dims{M: 1000, N: 1000, K: 1000}
+	sr, err := Simulate(SimOptions{Platform: "sgi-altix", Procs: 64, Dims: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Simulate(SimOptions{Platform: "sgi-altix", Procs: 64, Dims: d, Algorithm: AlgPdgemm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.GFLOPS <= pd.GFLOPS {
+		t.Fatalf("SRUMMA %.1f should beat pdgemm %.1f on the Altix model", sr.GFLOPS, pd.GFLOPS)
+	}
+}
+
+func TestSimulateOverlapReported(t *testing.T) {
+	rep, err := Simulate(SimOptions{Platform: "linux-myrinet", Procs: 16, Dims: Dims{M: 2000, N: 2000, K: 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports >90% overlap in most Linux-cluster cases.
+	if rep.Overlap < 0.5 {
+		t.Errorf("overlap %.2f unexpectedly low", rep.Overlap)
+	}
+	blocking, err := Simulate(SimOptions{Platform: "linux-myrinet", Procs: 16, Dims: Dims{M: 2000, N: 2000, K: 2000}, Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.GFLOPS >= rep.GFLOPS {
+		t.Errorf("blocking (%.1f) should not beat pipelined (%.1f)", blocking.GFLOPS, rep.GFLOPS)
+	}
+}
+
+func TestMeasureBandwidthAndOverlap(t *testing.T) {
+	sizes := []int{4 << 10, 256 << 10}
+	for _, proto := range []string{ProtoGet, ProtoMPI, ProtoMemcpy} {
+		pts, err := MeasureBandwidth("linux-myrinet", proto, sizes)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if len(pts) != 2 || pts[0].MBps <= 0 {
+			t.Fatalf("%s: bad points %+v", proto, pts)
+		}
+	}
+	if _, err := MeasureBandwidth("linux-myrinet", "pigeon", sizes); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatal("expected unknown protocol error")
+	}
+	ov, err := MeasureOverlap("ibm-sp", ProtoGet, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov) != 2 || ov[0].OverlapPct < 90 {
+		t.Fatalf("ARMCI overlap points %+v", ov)
+	}
+	if _, err := MeasureOverlap("ibm-sp", ProtoMemcpy, sizes); err == nil {
+		t.Fatal("expected error for overlap on memcpy")
+	}
+}
+
+func TestNewClusterForSkinnyShapes(t *testing.T) {
+	cl, err := NewClusterFor(8, 2, false, 800, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := cl.GridShape()
+	if p <= q {
+		t.Fatalf("tall result should get a tall grid, got %dx%d", p, q)
+	}
+	// And it must still multiply correctly.
+	a := RandomMatrix(80, 40, 1)
+	b := RandomMatrix(40, 10, 2)
+	got, _, err := cl.Multiply(a, b, MultiplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrix(80, 10)
+	if err := mat.GemmNaive(false, false, 1, a, b, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestSimulateVariantsAndErrors(t *testing.T) {
+	d := Dims{M: 256, N: 256, K: 256}
+	// Forced copy flavor and MaxTaskK plumb through.
+	rep, err := Simulate(SimOptions{Platform: "sgi-altix", Procs: 8, Dims: d, ForceCopyShared: true, MaxTaskK: 32})
+	if err != nil || rep.GFLOPS <= 0 {
+		t.Fatalf("forced-copy simulate: %v %+v", err, rep)
+	}
+	// Unknown algorithm surfaces as an error, not a hang.
+	if _, err := Simulate(SimOptions{Platform: "sgi-altix", Procs: 4, Dims: d, Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Bandwidth/overlap default size sweeps and bad platforms.
+	if _, err := MeasureBandwidth("nope", ProtoGet, nil); err == nil {
+		t.Fatal("bad platform accepted by MeasureBandwidth")
+	}
+	if _, err := MeasureOverlap("nope", ProtoGet, nil); err == nil {
+		t.Fatal("bad platform accepted by MeasureOverlap")
+	}
+	if pts, err := MeasureOverlap("linux-myrinet", ProtoMPI, []int{512}); err != nil || len(pts) != 1 {
+		t.Fatalf("overlap defaults: %v %v", pts, err)
+	}
+}
+
+func TestNewClusterForValidation(t *testing.T) {
+	if _, err := NewClusterFor(0, 1, false, 10, 10); err == nil {
+		t.Fatal("0 procs accepted")
+	}
+	if _, err := NewClusterFor(4, 2, false, 0, 10); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
