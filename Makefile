@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench verify repro fuzz clean
+.PHONY: all build test race cover bench verify repro chaos fuzz clean
 
 all: build test
 
@@ -32,11 +32,18 @@ verify:
 repro:
 	$(GO) run ./cmd/srumma-bench -all
 
-# Short fuzzing session over the numeric kernels and index math.
+# Fault-injection sweep on the real engine: every fault class, three
+# seeds, recovery layer active (see DESIGN.md "Fault model").
+chaos:
+	$(GO) run ./cmd/srumma-bench -chaos
+
+# Short fuzzing session over the numeric kernels, index math, and the
+# fault planner.
 fuzz:
 	$(GO) test -fuzz=FuzzGemmMatchesNaive -fuzztime=30s ./internal/mat
 	$(GO) test -fuzz=FuzzIntersect -fuzztime=15s ./internal/grid
 	$(GO) test -fuzz=FuzzCyclicMapping -fuzztime=15s ./internal/grid
+	$(GO) test -fuzz=FuzzPlan -fuzztime=15s ./internal/faults
 
 clean:
 	$(GO) clean ./...

@@ -10,8 +10,12 @@
 //	srumma-bench -iso               # isoefficiency demonstration
 //	srumma-bench -ablations         # SRUMMA design ablations
 //	srumma-bench -all               # everything
+//	srumma-bench -chaos -seed 7     # fault-injection sweep, real engine
 //	srumma-bench -fig 10 -quick     # reduced sweep (CI-sized)
 //	srumma-bench -all -json         # machine-readable results on stdout
+//
+// The chaos sweep runs on the real (goroutine) engine with wall-clock
+// recovery timeouts, so it is not part of -all; invoke it explicitly.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 	memory := flag.Bool("memory", false, "run the scratch-memory comparison")
 	klapi := flag.Bool("klapi", false, "run the SP LAPI-vs-KLAPI zero-copy projection")
 	blocksize := flag.Bool("blocksize", false, "run the task-granularity (block size) sweep")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep on the real engine")
+	seed := flag.Uint64("seed", 1, "base seed for the chaos sweep (runs seed, seed+1, seed+2)")
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced sweeps (smaller N and P)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of tables")
@@ -233,6 +239,24 @@ func main() {
 				return err
 			}
 			emit("blocksize", rows, bench.FormatBlockSize(prof, n, procs, rows))
+			return nil
+		})
+	}
+	if *chaos {
+		run("chaos", func() error {
+			n, procs, ppn := 96, 6, 2
+			if *quick {
+				n, procs, ppn = 48, 4, 2
+			}
+			seeds := []uint64{*seed, *seed + 1, *seed + 2}
+			if *quick {
+				seeds = seeds[:1]
+			}
+			rows, err := bench.Chaos(n, procs, ppn, seeds)
+			if err != nil {
+				return err
+			}
+			emit("chaos", rows, bench.FormatChaos(n, procs, rows))
 			return nil
 		})
 	}

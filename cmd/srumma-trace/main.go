@@ -11,6 +11,11 @@
 //	srumma-trace -platform cray-x1 -n 2000 -procs 16 -blocking
 //	srumma-trace -alg pdgemm -n 1000 -procs 8
 //	srumma-trace -n 600 -procs 16 -chrome trace.json
+//	srumma-trace -n 1000 -procs 8 -chaos -seed 7
+//
+// With -chaos the seeded fault plan (internal/faults) perturbs the
+// simulated fabric — dropped and delayed transfers, one straggler node —
+// and the timeline shows where the pipeline absorbs the injected latency.
 package main
 
 import (
@@ -23,11 +28,13 @@ import (
 	"srumma/internal/cannon"
 	"srumma/internal/core"
 	"srumma/internal/driver"
+	"srumma/internal/faults"
 	"srumma/internal/fox"
 	"srumma/internal/grid"
 	"srumma/internal/machine"
 	"srumma/internal/pdgemm"
 	"srumma/internal/rt"
+	"srumma/internal/simnet"
 	"srumma/internal/simrt"
 	"srumma/internal/summa"
 )
@@ -43,6 +50,8 @@ func main() {
 	blocking := flag.Bool("blocking", false, "single-buffer blocking gets")
 	noshift := flag.Bool("noshift", false, "disable the diagonal-shift ordering")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	chaos := flag.Bool("chaos", false, "inject deterministic faults into the simulated fabric (drops, delays, one straggler)")
+	seed := flag.Uint64("seed", 1, "fault-injection seed (with -chaos)")
 	flag.Parse()
 
 	prof, err := machine.ByName(*platform)
@@ -132,7 +141,30 @@ func main() {
 			panic(fmt.Sprintf("unknown algorithm %q", *alg))
 		}
 	}
-	res, err := simrt.RunTraced(prof, *procs, tr, body)
+	var res *simrt.Result
+	injected := 0
+	if *chaos {
+		// The same deterministic fault plan the real engine uses, consumed
+		// as latency/loss events on the simulated fabric: the timeline shows
+		// where the pipeline absorbs (or stalls on) the faults.
+		plan, perr := faults.NewPlan(faults.Config{
+			Seed: *seed, DropRate: 0.05, DelayRate: 0.1, Stragglers: 1,
+		}, *procs)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		inner := plan.NetHook()
+		hook := func(src, dst int, bytes int64) simnet.Fault {
+			f := inner(src, dst, bytes)
+			if f.Lost || f.ExtraLatency > 0 {
+				injected++
+			}
+			return f
+		}
+		res, err = simrt.RunTracedFaults(prof, *procs, tr, hook, body)
+	} else {
+		res, err = simrt.RunTraced(prof, *procs, tr, body)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,7 +172,11 @@ func main() {
 	flops := 2 * float64(*n) * float64(*n) * float64(*n)
 	fmt.Printf("%s %dx%dx%d on %s, %d procs (%dx%d grid): %.3f ms, %.1f GFLOP/s\n",
 		*alg, *n, *n, *n, prof.Name, *procs, g.P, g.Q, res.Time*1e3, flops/res.Time/1e9)
-	fmt.Printf("multiply span on rank 0: %.3f ms\n\n", (t1-t0)*1e3)
+	fmt.Printf("multiply span on rank 0: %.3f ms\n", (t1-t0)*1e3)
+	if *chaos {
+		fmt.Printf("chaos: seed %d, %d transfers perturbed (lost or delayed on the fabric)\n", *seed, injected)
+	}
+	fmt.Println()
 
 	fmt.Printf("timeline (g=gemm w=wait c=copy p=pack b=barrier s=steal):\n")
 	fmt.Print(tr.Timeline(*procs, *width, res.Time))

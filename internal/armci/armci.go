@@ -31,12 +31,31 @@ func Run(topo rt.Topology, body func(rt.Ctx)) ([]*rt.Stats, error) {
 	return RunWithTimeout(topo, 0, body)
 }
 
+// WatchdogError is returned by RunWithTimeout when the SPMD program missed
+// its deadline. Leaked is the set of ranks that were still running after
+// the collectives were aborted and a grace period elapsed: those ranks are
+// blocked outside the runtime (or wedged in injected faults) and their
+// goroutines leak until process exit. An empty Leaked set means every rank
+// unwound once the collectives were aborted — the run was wedged inside
+// runtime collectives only.
+type WatchdogError struct {
+	Timeout time.Duration
+	Leaked  []int
+}
+
+func (e *WatchdogError) Error() string {
+	if len(e.Leaked) > 0 {
+		return fmt.Sprintf("armci: watchdog fired after %v: ranks %v still running (goroutines leaked until process exit)", e.Timeout, e.Leaked)
+	}
+	return fmt.Sprintf("armci: watchdog fired after %v: run was wedged in runtime collectives", e.Timeout)
+}
+
 // RunWithTimeout is Run with a deadlock watchdog: if the SPMD program has
 // not completed within `timeout` (0 = no watchdog), the collectives are
-// aborted and an error names the ranks still running. Aborted ranks unwind
-// through their next barrier or pending receive; a rank blocked outside the
-// runtime cannot be reclaimed (its goroutine leaks until process exit),
-// which the error notes.
+// aborted and the returned *WatchdogError records the leaked rank set.
+// Aborted ranks unwind through their next barrier or pending receive; a
+// rank blocked outside the runtime cannot be reclaimed (its goroutine
+// leaks until process exit), which the error records.
 func RunWithTimeout(topo rt.Topology, timeout time.Duration, body func(rt.Ctx)) ([]*rt.Stats, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -96,10 +115,7 @@ func RunWithTimeout(topo rt.Topology, timeout time.Duration, body func(rt.Ctx)) 
 					stuck = append(stuck, rank)
 				}
 			}
-			if len(stuck) > 0 {
-				return stats, fmt.Errorf("armci: watchdog fired after %v: ranks %v still running (goroutines leaked until process exit)", timeout, stuck)
-			}
-			return stats, fmt.Errorf("armci: watchdog fired after %v: run was wedged in runtime collectives", timeout)
+			return stats, &WatchdogError{Timeout: timeout, Leaked: stuck}
 		}
 	} else {
 		wg.Wait()
@@ -510,6 +526,31 @@ func (c *ctx) UnpackTranspose(src rt.Buffer, srcOff int, dst rt.Mat) {
 	}
 	mat.UnpackTransposeFrom(dm, s[srcOff:srcOff+need], 0, 0, dst.Rows, dst.Cols)
 	c.stats.PackTime += time.Since(t0).Seconds()
+}
+
+// ChecksumRegion checksums the rows x cols region at element off of rank's
+// segment of g (rows ld apart) in packed row-major order, directly from
+// the authoritative source data. This is the engine capability behind the
+// fault-tolerance layer's end-to-end payload verification (the "sender
+// side" checksum of internal/faults): an injected drop or bit flip only
+// perturbs the landed copy, so the source checksum stays authoritative.
+func (c *ctx) ChecksumRegion(g rt.Global, rank, off, ld, rows, cols int) uint64 {
+	src := g.(*global).segs[rank].data
+	if rows < 0 || cols < 0 || ld < cols || off < 0 {
+		panic(fmt.Sprintf("armci: ChecksumRegion malformed region %dx%d ld=%d off=%d", rows, cols, ld, off))
+	}
+	if rows > 0 && cols > 0 {
+		if last := off + (rows-1)*ld + cols; last > len(src) {
+			panic(fmt.Sprintf("armci: ChecksumRegion region ends at %d of %d", last, len(src)))
+		}
+	}
+	h := rt.ChecksumSeed()
+	for r := 0; r < rows; r++ {
+		for _, v := range src[off+r*ld : off+r*ld+cols] {
+			h = rt.ChecksumAdd(h, v)
+		}
+	}
+	return h
 }
 
 func (c *ctx) WriteBuf(dst rt.Buffer, off int, vals []float64) {

@@ -1,0 +1,161 @@
+package armci
+
+// Abort-path tests for the runtime collectives: when one rank fails, the
+// barrier and mailbox must unblock everyone (raising abortError so the
+// peers unwind instead of hanging), stay aborted for late arrivals, and
+// tolerate repeated aborts. Plus the watchdog regression: ranks wedged
+// OUTSIDE the runtime (where abort cannot reach them) must be reported in
+// WatchdogError.Leaked.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"srumma/internal/rt"
+)
+
+// expectAbort runs fn and reports whether it panicked with abortError.
+func expectAbort(fn func()) (aborted bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(abortError); ok {
+				aborted = true
+				return
+			}
+			panic(p)
+		}
+	}()
+	fn()
+	return false
+}
+
+func TestBarrierAbortUnblocksWaiter(t *testing.T) {
+	b := newBarrier(2)
+	unwound := make(chan bool, 1)
+	entered := make(chan struct{})
+	go func() {
+		close(entered)
+		unwound <- expectAbort(b.await)
+	}()
+	<-entered
+	time.Sleep(time.Millisecond) // let the goroutine block in await
+	b.abort()
+	select {
+	case ok := <-unwound:
+		if !ok {
+			t.Error("blocked waiter returned normally from an aborted barrier")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not unblock the barrier waiter")
+	}
+}
+
+func TestBarrierAbortedRejectsLateArrivals(t *testing.T) {
+	b := newBarrier(3)
+	b.abort()
+	if !expectAbort(b.await) {
+		t.Error("await on an aborted barrier did not unwind")
+	}
+}
+
+func TestBarrierDoubleAbortIdempotent(t *testing.T) {
+	b := newBarrier(2)
+	b.abort()
+	b.abort() // must not deadlock, panic, or reset the aborted state
+	if !expectAbort(b.await) {
+		t.Error("barrier forgot it was aborted after a second abort")
+	}
+}
+
+func TestMailboxAbortReleasesPendingRecv(t *testing.T) {
+	m := newMailbox()
+	dst := make([]float64, 4)
+	h := m.recv(msgKey{src: 0, dst: 1, tag: 7}, dst)
+	if h.Done() {
+		t.Fatal("recv with no matching send reported done")
+	}
+	m.abort()
+	// The pending receive's handle is released so a rank blocked in Wait
+	// unwinds instead of hanging (the payload never arrived; the rank will
+	// fail at its next collective).
+	if !h.Done() {
+		t.Error("abort did not release the pending recv handle")
+	}
+}
+
+func TestMailboxAbortedRejectsTraffic(t *testing.T) {
+	m := newMailbox()
+	m.abort()
+	if !expectAbort(func() { m.send(msgKey{src: 0, dst: 1}, []float64{1}) }) {
+		t.Error("send on an aborted mailbox did not unwind")
+	}
+	if !expectAbort(func() { m.recv(msgKey{src: 0, dst: 1}, make([]float64, 1)) }) {
+		t.Error("recv on an aborted mailbox did not unwind")
+	}
+}
+
+func TestMailboxDoubleAbortIdempotent(t *testing.T) {
+	m := newMailbox()
+	m.recv(msgKey{src: 0, dst: 1, tag: 1}, make([]float64, 1))
+	m.abort()
+	m.abort() // second abort finds no pending recvs; must not re-close channels
+	if !expectAbort(func() { m.send(msgKey{src: 0, dst: 1}, []float64{1}) }) {
+		t.Error("mailbox forgot it was aborted after a second abort")
+	}
+}
+
+// TestWatchdogReportsLeakedRanks is the regression test for the watchdog's
+// goroutine-leak path: a rank blocked outside the runtime cannot be
+// unwound by aborting the collectives, so RunWithTimeout must return a
+// typed *WatchdogError carrying exactly that rank in Leaked.
+func TestWatchdogReportsLeakedRanks(t *testing.T) {
+	topo := rt.Topology{NProcs: 2, ProcsPerNode: 2}
+	release := make(chan struct{})
+	defer close(release) // let the leaked goroutine exit at test end
+	_, err := RunWithTimeout(topo, 300*time.Millisecond, func(c rt.Ctx) {
+		if c.Rank() == 1 {
+			<-release // wedged outside the runtime: abort cannot reach this
+		}
+	})
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if len(we.Leaked) != 1 || we.Leaked[0] != 1 {
+		t.Errorf("Leaked = %v, want [1]", we.Leaked)
+	}
+	if we.Timeout != 300*time.Millisecond {
+		t.Errorf("Timeout = %v, want 300ms", we.Timeout)
+	}
+}
+
+// TestWatchdogCollectiveWedgeHasNoLeaks: a rank wedged INSIDE a runtime
+// collective unwinds when the watchdog aborts it, so Leaked stays empty
+// and the error says so.
+func TestWatchdogCollectiveWedgeHasNoLeaks(t *testing.T) {
+	topo := rt.Topology{NProcs: 2, ProcsPerNode: 2}
+	_, err := RunWithTimeout(topo, 300*time.Millisecond, func(c rt.Ctx) {
+		if c.Rank() == 0 {
+			c.Barrier() // rank 1 never arrives: wedged in the collective
+		}
+	})
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if len(we.Leaked) != 0 {
+		t.Errorf("Leaked = %v, want none: the aborted barrier unwound the rank", we.Leaked)
+	}
+}
+
+func TestRunWithTimeoutZeroMeansNoWatchdog(t *testing.T) {
+	topo := rt.Topology{NProcs: 2, ProcsPerNode: 2}
+	stats, err := RunWithTimeout(topo, 0, func(c rt.Ctx) { c.Barrier() })
+	if err != nil {
+		t.Fatalf("plain run failed: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("want 2 stats, got %d", len(stats))
+	}
+}

@@ -149,7 +149,22 @@ func MultiplyEx(c rt.Ctx, g *grid.Grid, d Dims, opts Options, alpha, beta float6
 	return nil
 }
 
+// rankHealth is the capability a fault-tolerant runtime layer (the
+// internal/faults resilient wrapper) exposes to the executor: which owners
+// are currently stalling, and whether this rank has degraded to blocking
+// transfers. When the ctx provides it, execution switches to the dynamic
+// resilient schedule (see resilient.go); otherwise the static
+// double-buffered pipeline below runs unchanged.
+type rankHealth interface {
+	IsSlow(rank int) bool
+	Degraded() bool
+}
+
 func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) {
+	if h, ok := c.(rankHealth); ok {
+		execTasksResilient(c, h, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
+		return
+	}
 	me := c.Rank()
 	transA, transB := opts.Case.TransA(), opts.Case.TransB()
 

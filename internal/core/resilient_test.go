@@ -1,0 +1,154 @@
+package core
+
+// Correctness of the dynamic (fault-aware) executor WITHOUT any faults:
+// wrapping the engine ctx in a rankHealth provider switches execTasks to
+// execTasksResilient, which must produce the same C as the static pipeline
+// for every transpose case, grid shape, and health report — including
+// reports that force task stealing (slow owners) and degraded blocking
+// mode.
+
+import (
+	"testing"
+
+	"srumma/internal/armci"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// fakeHealth satisfies rankHealth with a fixed report, routing execution
+// through the dynamic executor deterministically.
+type fakeHealth struct {
+	rt.Ctx
+	slow     map[int]bool
+	degraded bool
+}
+
+func (f *fakeHealth) IsSlow(rank int) bool { return f.slow[rank] }
+func (f *fakeHealth) Degraded() bool       { return f.degraded }
+
+// runDynamic is runReal with every rank's ctx wrapped in a fakeHealth.
+func runDynamic(t *testing.T, p, q, ppn int, d Dims, opts Options, slow map[int]bool, degraded bool) *mat.Matrix {
+	t.Helper()
+	g, err := grid.New(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db, dc := Dists(g, d, opts.Case)
+	aGlob := mat.Random(da.Rows, da.Cols, 11)
+	bGlob := mat.Random(db.Rows, db.Cols, 22)
+	co := driver.NewCollect(g.Size())
+	topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: ppn}
+	_, err = armci.Run(topo, func(raw rt.Ctx) {
+		c := &fakeHealth{Ctx: raw, slow: slow, degraded: degraded}
+		ga := driver.AllocBlock(c, da)
+		gb := driver.AllocBlock(c, db)
+		gc := driver.AllocBlock(c, dc)
+		driver.LoadBlock(c, da, ga, aGlob)
+		driver.LoadBlock(c, db, gb, bGlob)
+		if err := Multiply(c, g, d, opts, ga, gb, gc); err != nil {
+			panic(err)
+		}
+		co.Deposit(c, driver.StoreBlock(c, dc, gc))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dc.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func checkDynamic(t *testing.T, p, q, ppn int, d Dims, opts Options, slow map[int]bool, degraded bool) {
+	t.Helper()
+	got := runDynamic(t, p, q, ppn, d, opts, slow, degraded)
+	want := reference(t, d, opts.Case, 11, 22)
+	if diff := mat.MaxAbsDiff(got, want); diff > 1e-10*float64(d.K) {
+		t.Errorf("grid %dx%d ppn=%d %v slow=%v degraded=%v: max diff %g",
+			p, q, ppn, opts.Case, slow, degraded, diff)
+	}
+}
+
+func TestResilientExecAllCases(t *testing.T) {
+	for _, cs := range Cases {
+		t.Run(cs.String(), func(t *testing.T) {
+			checkDynamic(t, 2, 2, 2, Dims{M: 24, N: 24, K: 24}, Options{Case: cs}, nil, false)
+			// Uneven rectangular grid and dims: the k-piece intersection
+			// machinery under dynamic order.
+			checkDynamic(t, 2, 3, 2, Dims{M: 20, N: 25, K: 30}, Options{Case: cs}, nil, false)
+		})
+	}
+}
+
+func TestResilientExecSlowOwners(t *testing.T) {
+	// Flagging owners as slow forces the steal path: tasks are picked out
+	// of order, so this exercises the dynamic beta tracking.
+	for _, cs := range Cases {
+		checkDynamic(t, 3, 2, 2, Dims{M: 21, N: 20, K: 19}, Options{Case: cs, MaxTaskK: 5},
+			map[int]bool{1: true, 4: true}, false)
+	}
+	// Every owner slow: pick must fall back to the head without spinning.
+	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	checkDynamic(t, 2, 2, 2, Dims{M: 16, N: 16, K: 16}, Options{}, all, false)
+}
+
+func TestResilientExecDegraded(t *testing.T) {
+	// Degraded mode: no prefetch, blocking single-slot transfers.
+	for _, cs := range Cases {
+		checkDynamic(t, 2, 2, 2, Dims{M: 18, N: 17, K: 16}, Options{Case: cs}, nil, true)
+	}
+	checkDynamic(t, 2, 3, 2, Dims{M: 20, N: 25, K: 30}, Options{Case: TT, MaxTaskK: 7}, nil, true)
+}
+
+func TestResilientExecSingleBuffer(t *testing.T) {
+	// The caller's blocking mode and the health-driven one must agree.
+	checkDynamic(t, 2, 2, 2, Dims{M: 16, N: 16, K: 16}, Options{SingleBuffer: true}, nil, false)
+	checkDynamic(t, 2, 2, 2, Dims{M: 16, N: 16, K: 16}, Options{SingleBuffer: true}, map[int]bool{2: true}, true)
+}
+
+func TestResilientExecBeta(t *testing.T) {
+	// MultiplyEx with beta != 0 under dynamic order: every C region must
+	// apply the caller's beta exactly once, whatever order tasks ran in.
+	g, err := grid.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dims{M: 16, N: 16, K: 16}
+	opts := Options{MaxTaskK: 4}
+	da, db, dc := Dists(g, d, opts.Case)
+	aGlob := mat.Random(da.Rows, da.Cols, 11)
+	bGlob := mat.Random(db.Rows, db.Cols, 22)
+	c0 := mat.Random(d.M, d.N, 33)
+	co := driver.NewCollect(g.Size())
+	topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+	_, err = armci.Run(topo, func(raw rt.Ctx) {
+		c := &fakeHealth{Ctx: raw, slow: map[int]bool{1: true}}
+		ga := driver.AllocBlock(c, da)
+		gb := driver.AllocBlock(c, db)
+		gc := driver.AllocBlock(c, dc)
+		driver.LoadBlock(c, da, ga, aGlob)
+		driver.LoadBlock(c, db, gb, bGlob)
+		driver.LoadBlock(c, dc, gc, c0)
+		if err := MultiplyEx(c, g, d, opts, 2, -1, ga, gb, gc); err != nil {
+			panic(err)
+		}
+		co.Deposit(c, driver.StoreBlock(c, dc, gc))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dc.Gather(co.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c0.Clone()
+	if err := mat.GemmNaive(false, false, 2, aGlob, bGlob, -1, want); err != nil {
+		t.Fatal(err)
+	}
+	if diff := mat.MaxAbsDiff(got, want); diff > 1e-10*float64(d.K) {
+		t.Errorf("alpha=2 beta=-1 dynamic order: max diff %g", diff)
+	}
+}

@@ -1,0 +1,268 @@
+// Package faults is the deterministic fault-injection and recovery layer
+// of the SRUMMA reproduction. The paper's performance story rests on
+// one-sided RMA progress (nonblocking get pipelines, direct shared-memory
+// access); this package supplies the robustness story for the same
+// machinery: the networks the paper targets (Myrinet GM, IBM SP LAPI) drop,
+// delay and corrupt transfers, and nodes stall or die mid-run.
+//
+// The package has three parts:
+//
+//   - Plan: a seedable, pure planner that decides — from (seed, rank,
+//     op-index) alone — whether a one-sided operation is dropped, delayed,
+//     corrupted, or issued by a crashing rank, and which ranks are
+//     stragglers. The schedule is a pure function, so the same seed and
+//     topology replay the identical fault sequence on every engine and
+//     every run.
+//
+//   - Inject: an rt.Ctx wrapper for the real (armci) engine that plants the
+//     planned faults into the actual data movement. The virtual-time engine
+//     consumes the same Plan through a simnet fault hook (see NetHook),
+//     where faults appear as injected latency and loss events.
+//
+//   - Resilient: an rt.Ctx wrapper that survives what Inject plants:
+//     per-op timeouts with capped exponential backoff and retry, end-to-end
+//     payload checksums with refetch on mismatch, per-owner latency
+//     tracking that flags stragglers for the SRUMMA task scheduler, and
+//     graceful degradation from the nonblocking double-buffered pipeline to
+//     blocking transfers when handles repeatedly fail.
+//
+// Accumulate-style operations (Acc, FetchAdd) are never faulted: they are
+// not idempotent, so retrying them safely needs sequence numbers the ARMCI
+// model does not have. The fault model covers the read/write RMA path —
+// exactly what SRUMMA's pipeline is built from.
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is a fault category.
+type Class uint8
+
+// The injected fault classes.
+const (
+	None     Class = iota
+	Drop           // the transfer silently moves no data
+	Delay          // the transfer completes late (or never, see Forever)
+	Corrupt        // the payload lands with a flipped bit
+	Straggle       // the op targets a straggler rank: service is slow
+	Crash          // the issuing rank dies at this op
+)
+
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Corrupt:
+		return "corrupt"
+	case Straggle:
+		return "straggle"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Forever marks a delayed transfer that never completes: only a recovery
+// timeout can get past it.
+const Forever time.Duration = -1
+
+// Fault is one planned perturbation of a one-sided operation.
+type Fault struct {
+	Class Class
+	// Dur is the injected latency for Delay (Forever = never completes)
+	// and Straggle faults.
+	Dur time.Duration
+	// Elem and Bit locate the flipped bit for Corrupt faults: bit Bit of
+	// payload element Elem%n.
+	Elem int
+	Bit  uint
+}
+
+// Config parameterizes a fault plan. Rates are per-op probabilities; their
+// sum must not exceed 1. The zero value plans no faults.
+type Config struct {
+	Seed uint64
+
+	DropRate    float64 // transfer moves no data
+	DelayRate   float64 // transfer completes late
+	CorruptRate float64 // payload lands with a flipped bit
+
+	// DelayUnit scales injected delays: a delayed op completes after
+	// 1..7 units (deterministic per op). Default 2ms.
+	DelayUnit time.Duration
+	// DelayForever makes every delayed transfer hang instead: it can only
+	// be recovered by a timeout-and-retry.
+	DelayForever bool
+
+	// Stragglers picks that many distinct ranks (deterministically from
+	// the seed) whose RMA service is slow: every op TARGETING a straggler
+	// is delayed by StragglerDelay (default 4ms).
+	Stragglers     int
+	StragglerDelay time.Duration
+
+	// Crash plants one rank death: a deterministically chosen rank panics
+	// (with rank and op context) at a deterministically chosen op index in
+	// [0, CrashOpSpan) (default 32).
+	Crash       bool
+	CrashOpSpan int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DelayUnit <= 0 {
+		c.DelayUnit = 2 * time.Millisecond
+	}
+	if c.StragglerDelay <= 0 {
+		c.StragglerDelay = 4 * time.Millisecond
+	}
+	if c.CrashOpSpan <= 0 {
+		c.CrashOpSpan = 32
+	}
+	return c
+}
+
+// Validate rejects malformed rate configurations.
+func (c Config) Validate() error {
+	rates := []float64{c.DropRate, c.DelayRate, c.CorruptRate}
+	sum := 0.0
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults: rate %g outside [0,1]", r)
+		}
+		sum += r
+	}
+	if sum > 1 {
+		return fmt.Errorf("faults: rates sum to %g > 1", sum)
+	}
+	if c.Stragglers < 0 {
+		return fmt.Errorf("faults: %d stragglers", c.Stragglers)
+	}
+	return nil
+}
+
+// Plan is a materialized fault schedule for one topology. All methods are
+// pure and safe for concurrent use from every rank.
+type Plan struct {
+	cfg       Config
+	nprocs    int
+	straggler []bool
+	crashRank int
+	crashOp   int
+}
+
+// NewPlan builds the deterministic schedule for nprocs ranks.
+func NewPlan(cfg Config, nprocs int) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("faults: %d ranks", nprocs)
+	}
+	cfg = cfg.withDefaults()
+	p := &Plan{cfg: cfg, nprocs: nprocs, straggler: make([]bool, nprocs), crashRank: -1, crashOp: -1}
+	// Straggler set: a seeded partial Fisher-Yates pick of distinct ranks.
+	ns := cfg.Stragglers
+	if ns > nprocs {
+		ns = nprocs
+	}
+	perm := make([]int, nprocs)
+	for i := range perm {
+		perm[i] = i
+	}
+	h := splitmix(cfg.Seed ^ 0x5354524147474c45) // "STRAGGLE"
+	for i := 0; i < ns; i++ {
+		h = splitmix(h)
+		j := i + int(h%uint64(nprocs-i))
+		perm[i], perm[j] = perm[j], perm[i]
+		p.straggler[perm[i]] = true
+	}
+	if cfg.Crash {
+		h := splitmix(cfg.Seed ^ 0x4352415348) // "CRASH"
+		p.crashRank = int(h % uint64(nprocs))
+		h = splitmix(h)
+		p.crashOp = int(h % uint64(cfg.CrashOpSpan))
+	}
+	return p, nil
+}
+
+// Config returns the (defaulted) configuration behind the plan.
+func (p *Plan) Config() Config { return p.cfg }
+
+// NProcs returns the topology size the plan was built for.
+func (p *Plan) NProcs() int { return p.nprocs }
+
+// Straggler reports whether rank's RMA service is planned slow.
+func (p *Plan) Straggler(rank int) bool {
+	return rank >= 0 && rank < p.nprocs && p.straggler[rank]
+}
+
+// CrashPoint returns the planned (rank, op) of the injected crash, or
+// (-1, -1) when no crash is planned.
+func (p *Plan) CrashPoint() (rank, op int) { return p.crashRank, p.crashOp }
+
+// At returns the fault planted into the op-index'th faultable one-sided
+// operation issued by rank. It is a pure function of (seed, rank, op):
+// replaying the same schedule needs nothing but the same Config and
+// topology. Straggle faults are keyed by the TARGET of an op, not its
+// issuer, so they are reported by TargetedBy instead.
+func (p *Plan) At(rank, op int) Fault {
+	if rank == p.crashRank && op == p.crashOp {
+		return Fault{Class: Crash}
+	}
+	h := splitmix(splitmix(p.cfg.Seed^uint64(rank)*0x9e3779b97f4a7c15) ^ uint64(op)*0xbf58476d1ce4e5b9)
+	u := float64(h>>11) / float64(1<<53)
+	switch {
+	case u < p.cfg.DropRate:
+		return Fault{Class: Drop}
+	case u < p.cfg.DropRate+p.cfg.DelayRate:
+		h = splitmix(h)
+		f := Fault{Class: Delay, Dur: time.Duration(1+h%7) * p.cfg.DelayUnit}
+		if p.cfg.DelayForever {
+			f.Dur = Forever
+		}
+		return f
+	case u < p.cfg.DropRate+p.cfg.DelayRate+p.cfg.CorruptRate:
+		h = splitmix(h)
+		return Fault{Class: Corrupt, Elem: int(h % (1 << 30)), Bit: uint((h >> 32) % 63)}
+	}
+	return Fault{}
+}
+
+// TargetedBy returns the service-side fault of an op from `rank` targeting
+// `target`: the straggler delay, if the target is a planned straggler.
+func (p *Plan) TargetedBy(rank, target int) Fault {
+	if p.Straggler(target) {
+		return Fault{Class: Straggle, Dur: p.cfg.StragglerDelay}
+	}
+	return Fault{}
+}
+
+// Schedule materializes the first opsPerRank entries of every rank's
+// schedule — the replayable object the determinism and fuzz tests compare.
+func (p *Plan) Schedule(opsPerRank int) [][]Fault {
+	out := make([][]Fault, p.nprocs)
+	for r := range out {
+		out[r] = make([]Fault, opsPerRank)
+		for op := 0; op < opsPerRank; op++ {
+			out[r][op] = p.At(r, op)
+		}
+	}
+	return out
+}
+
+// splitmix is the splitmix64 finalizer: the repo-standard way to turn a
+// seed and a counter into well-mixed bits (see mat.RNG).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

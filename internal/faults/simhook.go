@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"srumma/internal/simnet"
+	"srumma/internal/vtime"
+)
+
+// NetHook adapts a plan to the virtual-time engine: faults become injected
+// latency and loss events on the simulated fabric. The i-th transfer
+// observed from node src to node dst is perturbed per the schedule entry
+// At(dst, i) for that pair — the size-only engine moves no data, so drop
+// and corrupt faults (which a reliable transport recovers by
+// retransmission or refetch) are charged as a retry-timeout latency
+// penalty, delay faults as their planned latency, and transfers sourced at
+// a straggler node as the straggler service delay. Crash entries are
+// skipped: the performance model has no notion of process death.
+//
+// The hook keeps per-pair counters, and the vtime kernel serializes all
+// Transfer calls, so a faulty simulation replays bit-identically for a
+// given seed and topology.
+func (p *Plan) NetHook() simnet.FaultHook {
+	retry := vtime.FromSeconds(8 * p.cfg.DelayUnit.Seconds())
+	type pair struct{ src, dst int }
+	ops := make(map[pair]int)
+	return func(src, dst int, bytes int64) simnet.Fault {
+		k := pair{src, dst}
+		op := ops[k]
+		ops[k] = op + 1
+		var out simnet.Fault
+		switch f := p.At(dst, op); f.Class {
+		case Drop, Corrupt:
+			out.Lost = true
+			out.RetryAfter = retry
+		case Delay:
+			d := f.Dur
+			if d == Forever {
+				// The sim engine must terminate: an unrecoverable delay is
+				// charged as one full retry timeout instead.
+				out.Lost = true
+				out.RetryAfter = retry
+			} else {
+				out.ExtraLatency = vtime.FromSeconds(d.Seconds())
+			}
+		}
+		if p.Straggler(src % p.nprocs) {
+			out.ExtraLatency += vtime.FromSeconds(p.cfg.StragglerDelay.Seconds())
+		}
+		return out
+	}
+}

@@ -1,0 +1,39 @@
+package rt
+
+import "math"
+
+// Payload checksums are the end-to-end integrity check of the fault
+// tolerance layer: the engine computes the checksum of the authoritative
+// source region (the "sender side"), the recovery layer computes the
+// checksum of whatever landed in the destination buffer (the "receiver
+// side"), and a mismatch marks the transfer as lost or corrupted. FNV-1a
+// over the IEEE-754 bit patterns is used — cheap, stateless, and sensitive
+// to single-bit flips.
+
+const (
+	checksumOffset uint64 = 14695981039346656037
+	checksumPrime  uint64 = 1099511628211
+)
+
+// ChecksumSeed is the initial accumulator value for a streaming checksum.
+func ChecksumSeed() uint64 { return checksumOffset }
+
+// ChecksumAdd folds one element into a streaming checksum.
+func ChecksumAdd(h uint64, v float64) uint64 {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		h ^= bits & 0xff
+		h *= checksumPrime
+		bits >>= 8
+	}
+	return h
+}
+
+// Checksum returns the checksum of a packed payload.
+func Checksum(vals []float64) uint64 {
+	h := ChecksumSeed()
+	for _, v := range vals {
+		h = ChecksumAdd(h, v)
+	}
+	return h
+}

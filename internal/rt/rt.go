@@ -105,6 +105,15 @@ type Stats struct {
 	// algorithm's memory footprint beyond the distributed operands
 	// themselves (communication buffers, panels, redistribution staging).
 	ScratchBytes int64
+
+	// Fault-injection and recovery accounting, populated only when the
+	// internal/faults chaos layer wraps the engine (zero otherwise).
+	FaultsInjected  int64 // faults the injector planted into this rank's ops
+	FaultRetries    int64 // one-sided ops re-issued after a timed-out transfer
+	FaultRefetches  int64 // one-sided ops re-issued after a checksum mismatch
+	ChecksumErrors  int64 // corrupted payloads detected end-to-end
+	StragglerSteals int64 // tasks executed out of order to dodge a slow rank
+	DegradedMode    int64 // 1 once the rank fell back to blocking transfers
 }
 
 // Add accumulates o into s.
@@ -123,6 +132,12 @@ func (s *Stats) Add(o *Stats) {
 	s.BarrierTime += o.BarrierTime
 	s.StealTime += o.StealTime
 	s.ScratchBytes += o.ScratchBytes
+	s.FaultsInjected += o.FaultsInjected
+	s.FaultRetries += o.FaultRetries
+	s.FaultRefetches += o.FaultRefetches
+	s.ChecksumErrors += o.ChecksumErrors
+	s.StragglerSteals += o.StragglerSteals
+	s.DegradedMode += o.DegradedMode
 }
 
 // Topology describes how ranks map onto physical nodes and shared-memory

@@ -47,10 +47,18 @@ type Result struct {
 // Run executes body once per rank on the modeled platform and returns the
 // virtual-time result.
 func Run(prof machine.Profile, nprocs int, body func(rt.Ctx)) (*Result, error) {
-	return run(prof, nprocs, nil, body)
+	return run(prof, nprocs, nil, nil, body)
 }
 
-func run(prof machine.Profile, nprocs int, tr *Tracer, body func(rt.Ctx)) (*Result, error) {
+// RunWithFaults is Run with a simnet fault hook installed: the hook
+// perturbs every fabric transfer with deterministic injected latency/loss
+// events (see internal/faults.NetHook), which is how chaos experiments run
+// on the virtual-time engine.
+func RunWithFaults(prof machine.Profile, nprocs int, hook simnet.FaultHook, body func(rt.Ctx)) (*Result, error) {
+	return run(prof, nprocs, nil, hook, body)
+}
+
+func run(prof machine.Profile, nprocs int, tr *Tracer, hook simnet.FaultHook, body func(rt.Ctx)) (*Result, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,6 +79,9 @@ func run(prof machine.Profile, nprocs int, tr *Tracer, body func(rt.Ctx)) (*Resu
 		MemLatency:  vtime.FromSeconds(prof.MemLatency),
 		BisectionBW: prof.BisectionPerNode * float64(topo.NumNodes()),
 	})
+	if hook != nil {
+		net.SetFaultHook(hook)
+	}
 	w := &world{
 		tr:        tr,
 		prof:      prof,

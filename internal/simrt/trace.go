@@ -12,6 +12,7 @@ import (
 
 	"srumma/internal/machine"
 	"srumma/internal/rt"
+	"srumma/internal/simnet"
 )
 
 // Event is one traced activity interval on one rank, in virtual seconds.
@@ -89,5 +90,11 @@ func (tr *Tracer) Timeline(nprocs, width int, horizon float64) string {
 
 // RunTraced is Run with an event collector attached.
 func RunTraced(prof machine.Profile, nprocs int, tr *Tracer, body func(rt.Ctx)) (*Result, error) {
-	return run(prof, nprocs, tr, body)
+	return run(prof, nprocs, tr, nil, body)
+}
+
+// RunTracedFaults is RunTraced with a simnet fault hook installed, making
+// injected latency/loss events visible in the per-rank timelines.
+func RunTracedFaults(prof machine.Profile, nprocs int, tr *Tracer, hook simnet.FaultHook, body func(rt.Ctx)) (*Result, error) {
+	return run(prof, nprocs, tr, hook, body)
 }

@@ -23,11 +23,13 @@ package srumma
 
 import (
 	"fmt"
+	"time"
 
 	"srumma/internal/armci"
 	"srumma/internal/cannon"
 	"srumma/internal/core"
 	"srumma/internal/driver"
+	"srumma/internal/faults"
 	"srumma/internal/fox"
 	"srumma/internal/grid"
 	"srumma/internal/mat"
@@ -83,6 +85,29 @@ type MultiplyOptions struct {
 	NoDiagonalShift bool
 	NoSharedFirst   bool
 	SingleBuffer    bool
+	// Chaos, when non-nil, runs the multiply under deterministic fault
+	// injection with the recovery layer active (see ChaosOptions).
+	Chaos *ChaosOptions
+}
+
+// FaultConfig parameterizes the deterministic fault injector.
+type FaultConfig = faults.Config
+
+// RecoveryConfig tunes the resilience layer (timeouts, retry budget,
+// checksums, straggler threshold, degradation point).
+type RecoveryConfig = faults.RecoveryConfig
+
+// ChaosOptions run a Multiply under deterministic fault injection: every
+// one-sided transfer may be dropped, delayed, corrupted or slowed per the
+// seeded fault plan, while the resilience layer retries, refetches and
+// routes around stragglers. The run executes under a watchdog, so an
+// unrecoverable fault surfaces as an error naming the faulty rank and op —
+// never a hang, never a silently wrong C.
+type ChaosOptions struct {
+	Faults   FaultConfig
+	Recovery RecoveryConfig
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
 }
 
 // Report summarizes one Multiply run.
@@ -94,6 +119,14 @@ type Report struct {
 	BytesShared int64 // one-sided traffic within shared-memory domains
 	BytesRemote int64 // one-sided traffic between domains
 	Messages    int64 // two-sided messages (baselines)
+
+	// Resilience accounting, summed over processes (chaos runs only).
+	Faults          int64 // injected faults
+	Retries         int64 // ops re-issued after a timeout
+	Refetches       int64 // ops re-issued after a checksum mismatch
+	ChecksumErrors  int64 // corrupted payloads detected
+	StragglerSteals int64 // tasks re-ordered away from slow ranks
+	DegradedRanks   int64 // ranks that fell back to blocking transfers
 }
 
 // Cluster is a real execution engine: nprocs SPMD goroutine processes
@@ -106,7 +139,8 @@ type Cluster struct {
 }
 
 type commTotals struct {
-	shared, remote, msgs int64
+	shared, remote, msgs                                 int64
+	faults, retries, refetches, badsums, steals, degrade int64
 }
 
 // NewCluster creates an engine with nprocs processes, procsPerNode ranks
@@ -187,7 +221,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreBlock(c, dc, gc))
 		}
-		if err := cl.run(body); err != nil {
+		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
 		}
 		dcD := grid.NewBlockDist(cl.g, d.M, d.N)
@@ -209,7 +243,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreBlock(c, dc, gc))
 		}
-		if err := cl.run(body); err != nil {
+		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
 		}
 		cMat, err = dc.Gather(co.Blocks)
@@ -233,7 +267,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreCyclic(c, dc, gc))
 		}
-		if err := cl.run(body); err != nil {
+		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
 		}
 		cMat, err = dc.Gather(co.Blocks)
@@ -256,7 +290,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreBlock(c, dc, gc))
 		}
-		if err := cl.run(body); err != nil {
+		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
 		}
 		cMat, err = dc.Gather(co.Blocks)
@@ -279,7 +313,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreBlock(c, dc, gc))
 		}
-		if err := cl.run(body); err != nil {
+		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
 		}
 		cMat, err = dc.Gather(co.Blocks)
@@ -298,11 +332,30 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 		rep.GFLOPS = 2 * float64(d.M) * float64(d.N) * float64(d.K) / rep.Seconds / 1e9
 	}
 	rep.BytesShared, rep.BytesRemote, rep.Messages = cl.lastComm.shared, cl.lastComm.remote, cl.lastComm.msgs
+	rep.Faults, rep.Retries, rep.Refetches = cl.lastComm.faults, cl.lastComm.retries, cl.lastComm.refetches
+	rep.ChecksumErrors, rep.StragglerSteals, rep.DegradedRanks = cl.lastComm.badsums, cl.lastComm.steals, cl.lastComm.degrade
 	return cMat, rep, nil
 }
 
-func (cl *Cluster) run(body func(rt.Ctx)) error {
-	stats, err := armci.Run(cl.topo, body)
+func (cl *Cluster) run(body func(rt.Ctx), chaos *ChaosOptions) error {
+	var stats []*rt.Stats
+	var err error
+	if chaos != nil {
+		plan, perr := faults.NewPlan(chaos.Faults, cl.topo.NProcs)
+		if perr != nil {
+			return perr
+		}
+		timeout := chaos.Timeout
+		if timeout <= 0 {
+			timeout = 60 * time.Second
+		}
+		inner := body
+		stats, err = armci.RunWithTimeout(cl.topo, timeout, func(c rt.Ctx) {
+			inner(faults.Resilient(faults.Inject(c, plan, nil), chaos.Recovery))
+		})
+	} else {
+		stats, err = armci.Run(cl.topo, body)
+	}
 	if err != nil {
 		return err
 	}
@@ -311,6 +364,12 @@ func (cl *Cluster) run(body func(rt.Ctx)) error {
 		cl.lastComm.shared += s.BytesShared
 		cl.lastComm.remote += s.BytesRemote
 		cl.lastComm.msgs += s.Msgs
+		cl.lastComm.faults += s.FaultsInjected
+		cl.lastComm.retries += s.FaultRetries
+		cl.lastComm.refetches += s.FaultRefetches
+		cl.lastComm.badsums += s.ChecksumErrors
+		cl.lastComm.steals += s.StragglerSteals
+		cl.lastComm.degrade += s.DegradedMode
 	}
 	return nil
 }
