@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench verify repro chaos fuzz clean
+.PHONY: all build test race cover bench bench-kernel verify repro chaos fuzz clean
 
 all: build test
 
@@ -12,6 +12,7 @@ build:
 
 test:
 	$(GO) test ./...
+	$(GO) test -run=NONE -bench=BenchmarkGemm/512 -benchtime=1x ./internal/mat
 
 race:
 	$(GO) test -race ./...
@@ -22,6 +23,12 @@ cover:
 # One testing.B benchmark per paper figure/table.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Local dgemm kernel sweep on real hardware: seed vs packed vs parallel
+# kernels plus an end-to-end real-engine multiply (see BENCH_kernel.json
+# for recorded results).
+bench-kernel:
+	$(GO) run ./cmd/srumma-bench -kernel
 
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:

@@ -11,11 +11,13 @@
 //	srumma-bench -ablations         # SRUMMA design ablations
 //	srumma-bench -all               # everything
 //	srumma-bench -chaos -seed 7     # fault-injection sweep, real engine
+//	srumma-bench -kernel            # local dgemm kernel sweep, real hardware
 //	srumma-bench -fig 10 -quick     # reduced sweep (CI-sized)
 //	srumma-bench -all -json         # machine-readable results on stdout
 //
-// The chaos sweep runs on the real (goroutine) engine with wall-clock
-// recovery timeouts, so it is not part of -all; invoke it explicitly.
+// The chaos and kernel sweeps run on the real (goroutine) engine / real
+// hardware with wall-clock timing, so they are not part of -all; invoke
+// them explicitly.
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 	klapi := flag.Bool("klapi", false, "run the SP LAPI-vs-KLAPI zero-copy projection")
 	blocksize := flag.Bool("blocksize", false, "run the task-granularity (block size) sweep")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos sweep on the real engine")
+	kernel := flag.Bool("kernel", false, "run the local dgemm kernel sweep (seed vs packed vs parallel) on real hardware")
+	kernelThreads := flag.Int("kernel-threads", 4, "worker count for the parallel kernel rows")
 	seed := flag.Uint64("seed", 1, "base seed for the chaos sweep (runs seed, seed+1, seed+2)")
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced sweeps (smaller N and P)")
@@ -257,6 +261,25 @@ func main() {
 				return err
 			}
 			emit("chaos", rows, bench.FormatChaos(n, procs, rows))
+			return nil
+		})
+	}
+	if *kernel {
+		run("kernel", func() error {
+			ns := []int{256, 512, 1024}
+			if *quick {
+				ns = []int{256, 512}
+			}
+			rows, err := bench.KernelSweep(ns, *kernelThreads)
+			if err != nil {
+				return err
+			}
+			e2e, err := bench.KernelEndToEnd(ns[len(ns)-1:])
+			if err != nil {
+				return err
+			}
+			rows = append(rows, e2e...)
+			emit("kernel", rows, bench.FormatKernel(rows))
 			return nil
 		})
 	}

@@ -114,15 +114,15 @@ func (a *Array) pieces(i, j, r, c int) []patchPiece {
 	var out []patchPiece
 	for pr := 0; pr < a.dist.G.P; pr++ {
 		rc := a.dist.RowChunks[pr]
-		ri := maxInt(i, rc.Lo)
-		rhi := minInt(i+r, rc.Lo+rc.N)
+		ri := max(i, rc.Lo)
+		rhi := min(i+r, rc.Lo+rc.N)
 		if rhi <= ri {
 			continue
 		}
 		for pc := 0; pc < a.dist.G.Q; pc++ {
 			cc := a.dist.ColChunks[pc]
-			cj := maxInt(j, cc.Lo)
-			chi := minInt(j+c, cc.Lo+cc.N)
+			cj := max(j, cc.Lo)
+			chi := min(j+c, cc.Lo+cc.N)
 			if chi <= cj {
 				continue
 			}
@@ -267,18 +267,4 @@ func (c *Array) MatMul(transA, transB bool, alpha float64, a, b *Array, beta flo
 	opts := core.Options{Case: cs, Flavor: core.FlavorDirect}
 	d := core.Dims{M: m, N: n, K: k}
 	return core.MultiplyEx(c.e.ctx, c.e.g, d, opts, alpha, beta, a.glob, b.glob, c.glob)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

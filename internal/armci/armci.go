@@ -13,6 +13,7 @@ package armci
 
 import (
 	"fmt"
+	goruntime "runtime" // the package's own engine type is named runtime
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,7 +73,7 @@ func RunWithTimeout(topo rt.Topology, timeout time.Duration, body func(rt.Ctx)) 
 	finished := make([]int32, topo.NProcs)
 	var wg sync.WaitGroup
 	for rank := 0; rank < topo.NProcs; rank++ {
-		c := &ctx{rt: r, rank: rank, stats: &rt.Stats{}}
+		c := &ctx{rt: r, rank: rank, stats: &rt.Stats{}, kernelThreads: defaultKernelThreads(topo.NProcs)}
 		stats[rank] = c.stats
 		wg.Add(1)
 		go func() {
@@ -172,12 +173,40 @@ func (r *runtime) dropSlot(seq int) {
 	delete(r.slots, seq)
 }
 
+// defaultKernelThreads is the oversubscription guard: with nprocs SPMD
+// goroutines already competing for GOMAXPROCS cores, each rank's local
+// dgemm gets an equal share of the remaining parallelism (at least one
+// worker). A multiply on 4 ranks of a 16-core machine thus defaults to 4
+// kernel workers per rank — 16 busy goroutines total, not 64.
+func defaultKernelThreads(nprocs int) int {
+	return max(1, goruntime.GOMAXPROCS(0)/nprocs)
+}
+
 // buffer is a real float64 buffer.
 type buffer struct {
 	data []float64
 }
 
 func (b *buffer) Len() int { return len(b.data) }
+
+// Scratch-buffer recycling. LocalBuf rounds requests up to power-of-two
+// size classes and serves them from per-class pools of *buffer, so the
+// SRUMMA executor's per-multiply communication buffers (released through
+// ReleaseBuf) stop hitting the allocator once warm. Both the backing array
+// and the buffer header are recycled; reused memory is cleared so LocalBuf
+// keeps its zeroed-buffer guarantee.
+const scratchClasses = 28 // largest pooled class: 2^27 elements = 1 GiB
+
+var scratchPools [scratchClasses]sync.Pool
+
+// sizeClass returns the smallest c with 1<<c >= n (n >= 1).
+func sizeClass(n int) int {
+	c := 0
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
 
 // global is a collectively allocated set of per-rank segments. accMu
 // serializes accumulate operations (ARMCI guarantees Acc atomicity with
@@ -214,6 +243,9 @@ type ctx struct {
 	rank    int
 	stats   *rt.Stats
 	collSeq int
+	// kernelThreads is the local-dgemm worker count (rt.KernelTuner);
+	// only this rank's goroutine touches it.
+	kernelThreads int
 }
 
 func (c *ctx) Rank() int         { return c.rank }
@@ -255,7 +287,52 @@ func (c *ctx) Free(g rt.Global) {
 
 func (c *ctx) LocalBuf(elems int) rt.Buffer {
 	c.stats.ScratchBytes += int64(elems) * 8
-	return &buffer{data: make([]float64, elems)}
+	if elems <= 0 {
+		return &buffer{}
+	}
+	cls := sizeClass(elems)
+	if cls >= scratchClasses {
+		return &buffer{data: make([]float64, elems)}
+	}
+	if v := scratchPools[cls].Get(); v != nil {
+		b := v.(*buffer)
+		b.data = b.data[:elems]
+		clear(b.data)
+		return b
+	}
+	b := &buffer{data: make([]float64, 1<<cls)}
+	b.data = b.data[:elems]
+	return b
+}
+
+// ReleaseBuf returns a LocalBuf scratch buffer to the size-class pools
+// (rt.BufferReleaser). Only exact power-of-two capacities are recycled —
+// which is every buffer LocalBuf itself produced from a pooled class — so
+// foreign or oversized buffers fall through to the garbage collector.
+func (c *ctx) ReleaseBuf(buf rt.Buffer) {
+	b, ok := buf.(*buffer)
+	if !ok {
+		return
+	}
+	cp := cap(b.data)
+	if cp == 0 || cp&(cp-1) != 0 {
+		return
+	}
+	cls := sizeClass(cp)
+	if cls >= scratchClasses {
+		return
+	}
+	b.data = b.data[:cp]
+	scratchPools[cls].Put(b)
+}
+
+// SetKernelThreads implements rt.KernelTuner: it sets how many goroutines
+// this rank's Gemm calls may use (n <= 0 restores the engine default).
+func (c *ctx) SetKernelThreads(n int) {
+	if n <= 0 {
+		n = defaultKernelThreads(c.rt.topo.NProcs)
+	}
+	c.kernelThreads = n
 }
 
 func (c *ctx) Local(g rt.Global) rt.Buffer {
@@ -479,7 +556,13 @@ func (c *ctx) matView(m rt.Mat) *mat.Matrix {
 func (c *ctx) Gemm(alpha float64, a, b rt.Mat, beta float64, cm rt.Mat) {
 	t0 := time.Now()
 	am, bm, cmm := c.matView(a), c.matView(b), c.matView(cm)
-	if err := mat.Gemm(a.Trans, b.Trans, alpha, am, bm, beta, cmm); err != nil {
+	var err error
+	if c.kernelThreads > 1 {
+		err = mat.GemmParallel(c.kernelThreads, a.Trans, b.Trans, alpha, am, bm, beta, cmm)
+	} else {
+		err = mat.Gemm(a.Trans, b.Trans, alpha, am, bm, beta, cmm)
+	}
+	if err != nil {
 		panic(fmt.Sprintf("armci: Gemm: %v", err))
 	}
 	m, _ := a.OpShape()
@@ -571,4 +654,8 @@ func (c *ctx) ReadBuf(src rt.Buffer, off, n int) []float64 {
 	return out
 }
 
-var _ rt.Ctx = (*ctx)(nil)
+var (
+	_ rt.Ctx            = (*ctx)(nil)
+	_ rt.KernelTuner    = (*ctx)(nil)
+	_ rt.BufferReleaser = (*ctx)(nil)
+)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package armci
+
+const raceEnabled = false

@@ -1,6 +1,10 @@
 package armci
 
-import "sync"
+import (
+	"sync"
+
+	"srumma/internal/rt"
+)
 
 // abortError is the panic payload raised in ranks that were unblocked
 // because some other rank failed. Run reports the original failure in
@@ -71,18 +75,52 @@ type pendingRecv struct {
 // mailbox implements eager two-sided matching with MPI's non-overtaking
 // order per (src, dst, tag) triple. Sends buffer their payload, so a send
 // never blocks — which is the behaviour of the eager protocol real MPIs use
-// for the message sizes the real engine is exercised at.
+// for the message sizes the real engine is exercised at. Buffered payloads
+// live in pooled size-class buffers (the scratchPools machinery of
+// armci.go) and queue pops shift in place, so steady-state traffic touches
+// the allocator only when a queue grows past its high-water mark.
 type mailbox struct {
 	mu      sync.Mutex
-	sends   map[msgKey][][]float64
+	sends   map[msgKey][]*buffer
 	recvs   map[msgKey][]*pendingRecv
 	aborted bool
 }
 
 func newMailbox() *mailbox {
 	return &mailbox{
-		sends: make(map[msgKey][][]float64),
+		sends: make(map[msgKey][]*buffer),
 		recvs: make(map[msgKey][]*pendingRecv),
+	}
+}
+
+// getPayloadBuf returns a pooled buffer resized to n elements. The caller
+// overwrites every element, so reused memory is not cleared.
+func getPayloadBuf(n int) *buffer {
+	if n <= 0 {
+		return &buffer{}
+	}
+	cls := sizeClass(n)
+	if cls >= scratchClasses {
+		return &buffer{data: make([]float64, n)}
+	}
+	if v := scratchPools[cls].Get(); v != nil {
+		b := v.(*buffer)
+		b.data = b.data[:n]
+		return b
+	}
+	b := &buffer{data: make([]float64, 1<<cls)}
+	b.data = b.data[:n]
+	return b
+}
+
+func putPayloadBuf(b *buffer) {
+	cp := cap(b.data)
+	if cp == 0 || cp&(cp-1) != 0 {
+		return
+	}
+	if cls := sizeClass(cp); cls < scratchClasses {
+		b.data = b.data[:cp]
+		scratchPools[cls].Put(b)
 	}
 }
 
@@ -94,7 +132,9 @@ func (m *mailbox) send(k msgKey, payload []float64) {
 	}
 	if q := m.recvs[k]; len(q) > 0 {
 		r := q[0]
-		m.recvs[k] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		m.recvs[k] = q[:len(q)-1]
 		if len(r.dst) != len(payload) {
 			panic("armci: send/recv length mismatch")
 		}
@@ -102,28 +142,30 @@ func (m *mailbox) send(k msgKey, payload []float64) {
 		close(r.done)
 		return
 	}
-	buf := make([]float64, len(payload))
-	copy(buf, payload)
-	m.sends[k] = append(m.sends[k], buf)
+	b := getPayloadBuf(len(payload))
+	copy(b.data, payload)
+	m.sends[k] = append(m.sends[k], b)
 }
 
-func (m *mailbox) recv(k msgKey, dst []float64) *chanHandle {
+func (m *mailbox) recv(k msgKey, dst []float64) rt.Handle {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.aborted {
 		panic(abortError{})
 	}
-	h := &chanHandle{ch: make(chan struct{})}
 	if q := m.sends[k]; len(q) > 0 {
-		payload := q[0]
-		m.sends[k] = q[1:]
-		if len(dst) != len(payload) {
+		b := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		m.sends[k] = q[:len(q)-1]
+		if len(dst) != len(b.data) {
 			panic("armci: send/recv length mismatch")
 		}
-		copy(dst, payload)
-		close(h.ch)
-		return h
+		copy(dst, b.data)
+		putPayloadBuf(b)
+		return doneHandle{}
 	}
+	h := &chanHandle{ch: make(chan struct{})}
 	m.recvs[k] = append(m.recvs[k], &pendingRecv{dst: dst, done: h.ch})
 	return h
 }

@@ -1,0 +1,181 @@
+package bench
+
+// Local-kernel sweep: the single-process counterpart of the paper figures.
+// SRUMMA's whole design pushes the bottleneck down to the per-process dgemm
+// (communication is overlapped away), so the local kernel's GFLOP/s is the
+// ceiling on every real-engine result in this repository. The sweep pits
+// the retained seed kernel (mat.GemmBlocked, the cache-blocked axpy kernel
+// this repo started with) against the packed register-tiled hierarchy
+// (mat.Gemm) and its goroutine-parallel form (mat.GemmParallel), then
+// closes with an end-to-end real-engine Multiply so kernel gains are shown
+// to survive the full communication pipeline.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/core"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// KernelRow is one (kernel, case, size) measurement.
+type KernelRow struct {
+	Kernel  string  // "seed", "packed", "parallelN", "srumma-4p"
+	Case    string  // "NN" or "TT" (the strided worst case of the seed kernel)
+	N       int     // square problem size
+	Seconds float64 // best-of-repetitions wall time of one multiply
+	GFLOPS  float64 // 2 N^3 / Seconds / 1e9
+	Speedup float64 // vs the seed kernel at the same (Case, N); 1 for seed
+}
+
+// kernelFn runs C = A·B (or Aᵀ·Bᵀ) once.
+type kernelFn func(transA, transB bool, a, b, c *mat.Matrix) error
+
+// timeKernel returns the best wall time of reps runs.
+func timeKernel(fn kernelFn, transA, transB bool, a, b, c *mat.Matrix, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if err := fn(transA, transB, a, b, c); err != nil {
+			return 0, err
+		}
+		if dt := time.Since(t0).Seconds(); r == 0 || dt < best {
+			best = dt
+		}
+	}
+	return best, nil
+}
+
+// KernelSweep measures every kernel at every n, on NN and on TT (where the
+// seed kernel's strided inner loops were worst). threads is the worker
+// count for the parallel rows; on a machine with fewer cores the parallel
+// rows simply track the serial ones.
+func KernelSweep(ns []int, threads int) ([]KernelRow, error) {
+	if threads <= 0 {
+		threads = 4
+	}
+	kernels := []struct {
+		name string
+		fn   kernelFn
+	}{
+		{"seed", func(tA, tB bool, a, b, c *mat.Matrix) error {
+			return mat.GemmBlocked(tA, tB, 1, a, b, 0, c)
+		}},
+		{"packed", func(tA, tB bool, a, b, c *mat.Matrix) error {
+			return mat.Gemm(tA, tB, 1, a, b, 0, c)
+		}},
+		{fmt.Sprintf("parallel%d", threads), func(tA, tB bool, a, b, c *mat.Matrix) error {
+			return mat.GemmParallel(threads, tA, tB, 1, a, b, 0, c)
+		}},
+	}
+	var rows []KernelRow
+	for _, n := range ns {
+		a := mat.Random(n, n, 11)
+		b := mat.Random(n, n, 22)
+		c := mat.New(n, n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		reps := 3
+		if n <= 512 {
+			reps = 5
+		}
+		for _, cs := range []struct {
+			name           string
+			transA, transB bool
+		}{{"NN", false, false}, {"TT", true, true}} {
+			seedSec := 0.0
+			for _, k := range kernels {
+				// warm-up run outside the timing (pools, caches)
+				if _, err := timeKernel(k.fn, cs.transA, cs.transB, a, b, c, 1); err != nil {
+					return nil, fmt.Errorf("bench: %s %s n=%d: %w", k.name, cs.name, n, err)
+				}
+				sec, err := timeKernel(k.fn, cs.transA, cs.transB, a, b, c, reps)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s %s n=%d: %w", k.name, cs.name, n, err)
+				}
+				row := KernelRow{Kernel: k.name, Case: cs.name, N: n, Seconds: sec, GFLOPS: flops / sec / 1e9}
+				if k.name == "seed" {
+					seedSec = sec
+					row.Speedup = 1
+				} else if seedSec > 0 {
+					row.Speedup = seedSec / sec
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// KernelEndToEnd runs a full real-engine SRUMMA multiply (4 ranks, one
+// shared-memory node) at each n and reports aggregate GFLOP/s, so the
+// kernel-sweep numbers can be compared against what the whole pipeline
+// delivers. Speedup is left 0 (no seed-kernel run; the per-task kernel is
+// always the current one).
+func KernelEndToEnd(ns []int) ([]KernelRow, error) {
+	const nprocs = 4
+	topo := rt.Topology{NProcs: nprocs, ProcsPerNode: nprocs, DomainSpansMachine: true}
+	g, err := grid.Square(nprocs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []KernelRow
+	for _, n := range ns {
+		a := mat.Random(n, n, 33)
+		b := mat.Random(n, n, 44)
+		d := core.Dims{M: n, N: n, K: n}
+		opts := core.Options{Case: core.NN, Flavor: core.FlavorDirect}
+		da, db, dc := core.Dists(g, d, opts.Case)
+		durations := make([]float64, nprocs)
+		_, err := armci.Run(topo, func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			t0 := c.Now()
+			if err := core.Multiply(c, g, d, opts, ga, gb, gc); err != nil {
+				panic(err)
+			}
+			durations[c.Rank()] = c.Now() - t0
+		})
+		if err != nil {
+			return nil, err
+		}
+		slowest := 0.0
+		for _, dt := range durations {
+			if dt > slowest {
+				slowest = dt
+			}
+		}
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		rows = append(rows, KernelRow{
+			Kernel:  fmt.Sprintf("srumma-%dp", nprocs),
+			Case:    "NN",
+			N:       n,
+			Seconds: slowest,
+			GFLOPS:  flops / slowest / 1e9,
+		})
+	}
+	return rows, nil
+}
+
+// FormatKernel renders the sweep as a table.
+func FormatKernel(rows []KernelRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Local dgemm kernel sweep (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "%-12s %-4s %6s %12s %10s %8s\n", "kernel", "case", "n", "seconds", "GFLOP/s", "speedup")
+	for _, r := range rows {
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-12s %-4s %6d %12.6f %10.2f %8s\n", r.Kernel, r.Case, r.N, r.Seconds, r.GFLOPS, speedup)
+	}
+	return sb.String()
+}

@@ -129,6 +129,11 @@ func MultiplyEx(c rt.Ctx, g *grid.Grid, d Dims, opts Options, alpha, beta float6
 	}
 
 	me := c.Rank()
+	if opts.KernelThreads > 0 {
+		if t := rt.FindKernelTuner(c); t != nil {
+			t.SetKernelThreads(opts.KernelThreads)
+		}
+	}
 	tasks := Plan(c.Topo(), me, g, d, opts)
 	myRow, myCol := g.Coords(me)
 	mLoc := dc.RowChunks[myRow].N
@@ -205,8 +210,8 @@ func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb
 	// before any compute, so the first remote transfers hide behind the
 	// shared-memory tasks at the head of the list (paper §3.1 step 2).
 	if !opts.SingleBuffer {
-		issueA(minInt(1, len(sa.items)-1))
-		issueB(minInt(1, len(sb.items)-1))
+		issueA(min(1, len(sa.items)-1))
+		issueB(min(1, len(sb.items)-1))
 	}
 
 	cBuf := c.Local(gc)
@@ -276,11 +281,22 @@ func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb
 		}
 		c.Gemm(alpha, aMat, bMat, taskBeta, cMat)
 	}
+	releaseScratch(c, bufsA, bufsB)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// releaseScratch hands the per-multiply communication buffers back to the
+// engine's pools when it has any (the real engine does; the sim engine only
+// counts bytes). With pooling, repeated Multiply calls stop allocating the
+// double-buffer panels after the first run.
+func releaseScratch(c rt.Ctx, bufsA, bufsB []rt.Buffer) {
+	rel := rt.FindBufferReleaser(c)
+	if rel == nil {
+		return
 	}
-	return b
+	for _, b := range bufsA {
+		rel.ReleaseBuf(b)
+	}
+	for _, b := range bufsB {
+		rel.ReleaseBuf(b)
+	}
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"srumma/internal/armci"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// releaseSpy wraps an rt.Ctx, counts LocalBuf/ReleaseBuf traffic, and
+// forwards capability discovery via Unwrap — exactly how the executor sees
+// the engine through the faults middleware.
+type releaseSpy struct {
+	rt.Ctx
+	granted  int
+	released int
+}
+
+func (s *releaseSpy) Unwrap() rt.Ctx { return s.Ctx }
+
+func (s *releaseSpy) LocalBuf(elems int) rt.Buffer {
+	s.granted++
+	return s.Ctx.LocalBuf(elems)
+}
+
+func (s *releaseSpy) ReleaseBuf(b rt.Buffer) {
+	s.released++
+	if rel := rt.FindBufferReleaser(s.Ctx); rel != nil {
+		rel.ReleaseBuf(b)
+	}
+}
+
+// TestExecutorReleasesScratch: every communication buffer the executor
+// takes must go back to the engine when the multiply completes, so
+// repeated multiplies reuse panels instead of re-allocating them.
+func TestExecutorReleasesScratch(t *testing.T) {
+	g, err := grid.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dims{M: 96, N: 96, K: 96}
+	opts := Options{}
+	da, db, dc := Dists(g, d, opts.Case)
+	aGlob := mat.Random(da.Rows, da.Cols, 1)
+	bGlob := mat.Random(db.Rows, db.Cols, 2)
+	spies := make([]*releaseSpy, g.Size())
+	// Two nodes of two ranks: cross-node operands force fetched (buffered)
+	// paths alongside direct ones.
+	topo := rt.Topology{NProcs: g.Size(), ProcsPerNode: 2}
+	_, err = armci.Run(topo, func(raw rt.Ctx) {
+		c := &releaseSpy{Ctx: raw}
+		spies[raw.Rank()] = c
+		ga := driver.AllocBlock(c, da)
+		gb := driver.AllocBlock(c, db)
+		gc := driver.AllocBlock(c, dc)
+		driver.LoadBlock(c, da, ga, aGlob)
+		driver.LoadBlock(c, db, gb, bGlob)
+		granted0 := c.granted // driver helpers may take scratch of their own
+		released0 := c.released
+		if err := Multiply(c, g, d, opts, ga, gb, gc); err != nil {
+			panic(err)
+		}
+		taken := c.granted - granted0
+		freed := c.released - released0
+		if taken == 0 {
+			panic("multiply took no scratch — test exercises nothing")
+		}
+		if freed != taken {
+			t.Errorf("rank %d released %d of %d scratch buffers", raw.Rank(), freed, taken)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, s := range spies {
+		if s == nil {
+			t.Fatalf("rank %d never ran", rank)
+		}
+	}
+}

@@ -67,6 +67,8 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 	for i := 0; i < nbuf && maxB > 0; i++ {
 		bufsB = append(bufsB, c.LocalBuf(maxB))
 	}
+	// Deferred: this executor returns from inside its scheduling loop.
+	defer releaseScratch(c, bufsA, bufsB)
 
 	remaining := make([]int, len(tasks))
 	for i := range remaining {

@@ -170,7 +170,7 @@ func TestPipelineNeverClobbersLiveBuffer(t *testing.T) {
 				bufHolds[issued%nbuf] = issued
 			}
 		}
-		issue(minInt(1, len(s.items)-1))
+		issue(min(1, len(s.items)-1))
 		for ti := range tasks {
 			target := s.need[ti]
 			if ti+1 < len(tasks) {

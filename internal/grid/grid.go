@@ -184,8 +184,8 @@ func Intersect(a, b []Chunk) []Overlap {
 			j++
 			continue
 		}
-		lo := maxInt(a[i].Lo, b[j].Lo)
-		hi := minInt(a[i].Lo+a[i].N, b[j].Lo+b[j].N)
+		lo := max(a[i].Lo, b[j].Lo)
+		hi := min(a[i].Lo+a[i].N, b[j].Lo+b[j].N)
 		if hi > lo {
 			out = append(out, Overlap{AIdx: a[i].Idx, BIdx: b[j].Idx, Lo: lo, N: hi - lo})
 		}
@@ -197,18 +197,4 @@ func Intersect(a, b []Chunk) []Overlap {
 		}
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -4,27 +4,27 @@ package mat
 //
 //	C = alpha*op(A)*op(B) + beta*C
 //
-// with op(X) = X or Xᵀ, as a blocked pure-Go routine. The paper uses vendor
-// dgemm (ESSL/MKL/SCS/libsci); this is our substitution. The loop orders are
-// chosen so the innermost loop always streams over a contiguous row of at
-// least one operand, which is what "cache-aware" means for a row-major
-// layout without SIMD intrinsics.
+// with op(X) = X or Xᵀ, as a BLIS-style packed hierarchy in pure Go. The
+// paper uses vendor dgemm (ESSL/MKL/SCS/libsci); this is our substitution.
+//
+// Structure (outer to inner):
+//
+//	for jc (nc)           B column slabs
+//	  for pc (kc)         contraction panels: pack op(B) slab (packB)
+//	    for ic (mc)       A row slabs: pack alpha*op(A) slab (packA)
+//	      for jr (nr)     B micro-panels (stay in L1)
+//	        for ir (mr)   A micro-panels (stream from L2)
+//	          microKernel4x8
+//
+// Packing resolves all four transpose variants into one contiguous layout
+// (pack.go), so there is no strided inner loop anywhere — in particular the
+// old TT column walk is gone. The pack buffers come from sync.Pools, so
+// steady-state calls allocate nothing.
 
-// Block sizes for the cache-blocked kernels. Chosen so an (mc x kc) panel of
-// A plus a (kc x nc) panel of B fit comfortably in a typical L2 cache
-// (~256 KiB of float64 at these settings).
-const (
-	blockM = 64
-	blockN = 256
-	blockK = 64
-)
-
-// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is controlled by
-// transA and transB. Shapes after op must satisfy op(A): m x k,
-// op(B): k x n, C: m x n; otherwise ErrShape is returned and C is not
-// touched.
-func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
-	m, k := a.Rows, a.Cols
+// gemmShape derives (m, n, k) from the stored operand shapes and checks
+// conformance against C.
+func gemmShape(transA, transB bool, a, b, c *Matrix) (m, n, k int, err error) {
+	m, k = a.Rows, a.Cols
 	if transA {
 		m, k = a.Cols, a.Rows
 	}
@@ -33,7 +33,94 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 		kb, n = b.Cols, b.Rows
 	}
 	if k != kb || c.Rows != m || c.Cols != n {
-		return ErrShape
+		return 0, 0, 0, ErrShape
+	}
+	return m, n, k, nil
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is controlled by
+// transA and transB. Shapes after op must satisfy op(A): m x k,
+// op(B): k x n, C: m x n; otherwise ErrShape is returned and C is not
+// touched.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
+	m, n, k, err := gemmShape(transA, transB, a, b, c)
+	if err != nil {
+		return err
+	}
+	scaleC(beta, c)
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return nil
+	}
+	gemmPacked(transA, transB, alpha, a, b, c, 0, m, 0, n, k)
+	return nil
+}
+
+// gemmPacked runs the packed macro loops over the C sub-range
+// [i0, i0+m) x [j0, j0+n) with full contraction length k. beta has already
+// been applied; alpha is folded into the A panels. The range form is what
+// GemmParallel partitions across workers — disjoint C ranges share nothing
+// but the read-only operands.
+func gemmPacked(transA, transB bool, alpha float64, a, b, c *Matrix, i0, m, j0, n, k int) {
+	apBuf, bpBuf := getAPanel(), getBPanel()
+	ap, bp := *apBuf, *bpBuf
+	for jc := 0; jc < n; jc += ncBlock {
+		ncEff := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kcEff := min(kcBlock, k-pc)
+			packB(bp, b, transB, pc, j0+jc, kcEff, ncEff)
+			for ic := 0; ic < m; ic += mcBlock {
+				mcEff := min(mcBlock, m-ic)
+				packA(ap, a, transA, alpha, i0+ic, pc, mcEff, kcEff)
+				for q := 0; q*nr < ncEff; q++ {
+					cols := min(nr, ncEff-q*nr)
+					bPanel := bp[q*nr*kcEff:]
+					for p := 0; p*mr < mcEff; p++ {
+						rows := min(mr, mcEff-p*mr)
+						cOff := (i0+ic+p*mr)*c.Stride + j0 + jc + q*nr
+						microKernel4x8(kcEff, ap[p*mr*kcEff:], bPanel, c.Data[cOff:], c.Stride, rows, cols)
+					}
+				}
+			}
+		}
+	}
+	putAPanel(apBuf)
+	putBPanel(bpBuf)
+}
+
+func scaleC(beta float64, c *Matrix) {
+	switch beta {
+	case 1:
+		return
+	case 0:
+		c.Zero()
+	default:
+		for i := 0; i < c.Rows; i++ {
+			row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// Block sizes for GemmBlocked, the seed cache-blocked kernel kept below as
+// the benchmark baseline. Chosen so an (mc x kc) panel of A plus a
+// (kc x nc) panel of B fit comfortably in a typical L2 cache.
+const (
+	blockM = 64
+	blockN = 256
+	blockK = 64
+)
+
+// GemmBlocked is the previous generation of the serial kernel: cache
+// blocked but unpacked, with axpy/dot inner loops (and a strided walk in
+// the TT case). It is retained as the measured baseline for the packed
+// kernel — `srumma-bench -kernel` and BenchmarkGemm report both — and as
+// an independent implementation for cross-checking tests.
+func GemmBlocked(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
+	m, n, k, err := gemmShape(transA, transB, a, b, c)
+	if err != nil {
+		return err
 	}
 	scaleC(beta, c)
 	if alpha == 0 || m == 0 || n == 0 || k == 0 {
@@ -62,22 +149,6 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 		}
 	}
 	return nil
-}
-
-func scaleC(beta float64, c *Matrix) {
-	switch beta {
-	case 1:
-		return
-	case 0:
-		c.Zero()
-	default:
-		for i := 0; i < c.Rows; i++ {
-			row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
-			for j := range row {
-				row[j] *= beta
-			}
-		}
-	}
 }
 
 // gemmNN: C(ib x jb) += alpha * A(ib x lb) * B(lb x jb).
@@ -129,8 +200,8 @@ func gemmNT(alpha float64, a, b, c *Matrix) {
 
 // gemmTT: C(ib x jb) += alpha * A(lb x ib)ᵀ * B(jb x lb)ᵀ.
 // Loop over l outermost keeps row l of A contiguous; B is read by column of
-// the transposed operand, i.e. strided, which is unavoidable for TT without
-// an explicit transpose buffer (block sizes keep the working set cached).
+// the transposed operand, i.e. strided (the packed kernel avoids this by
+// resolving the transpose at pack time).
 func gemmTT(alpha float64, a, b, c *Matrix) {
 	for l := 0; l < a.Rows; l++ {
 		aRow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
@@ -218,11 +289,4 @@ func GemmNaive(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c
 		}
 	}
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

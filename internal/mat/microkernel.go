@@ -1,0 +1,109 @@
+package mat
+
+// The register-tiled micro-kernel: one mr x nr = 4x8 tile of C updated by a
+// length-kc sequence of rank-1 updates read from packed panels (pack.go).
+// Per k step it loads mr + nr = 12 values and performs mr*nr = 32
+// multiply-adds, versus one load-add-store per multiply-add in the old
+// axpy-style inner loop — the arithmetic-to-memory ratio is what buys the
+// speedup. On amd64 with AVX2+FMA the tile lives in eight YMM accumulator
+// registers (four rows of two) in fmaKernel4x8; everywhere else a scalar
+// kernel works the tile as two 4x4 halves so its sixteen accumulators have
+// a chance of staying in registers. C itself is read and written exactly
+// once per (tile, k-panel) pair.
+
+// microKernel4x8 accumulates the tile product into C:
+//
+//	C[r, j] += sum_l ap[l*4+r] * bp[l*8+j]   r < rows, j < cols
+//
+// ap and bp are packed micro-panels (alpha already folded into ap, padded
+// lanes zero). rows and cols select the live part of the tile on edge
+// tiles. c addresses C(0,0) of the tile with leading dimension ldc.
+func microKernel4x8(kc int, ap, bp []float64, c []float64, ldc, rows, cols int) {
+	if haveFMAKernel && rows == mr && cols == nr {
+		fmaKernel4x8(kc, &ap[0], &bp[0], &c[0], ldc)
+		return
+	}
+	scalarKernel4x4(kc, ap, bp, 0, c, ldc, rows, min(cols, 4))
+	if cols > 4 {
+		scalarKernel4x4(kc, ap, bp, 4, c[4:], ldc, rows, cols-4)
+	}
+}
+
+// scalarKernel4x4 is one 4x4 half of the tile: sixteen scalar accumulators
+// over the packed panels, reading B columns [off, off+4) of each nr-wide
+// packed row. Padded A rows contribute zeros, so the k loop is unmasked;
+// rows and cols mask only the write-back.
+func scalarKernel4x4(kc int, ap, bp []float64, off int, c []float64, ldc, rows, cols int) {
+	var (
+		c00, c01, c02, c03 float64
+		c10, c11, c12, c13 float64
+		c20, c21, c22, c23 float64
+		c30, c31, c32, c33 float64
+	)
+	ap = ap[:kc*mr]
+	bp = bp[off : off+(kc-1)*nr+4]
+	for {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		if len(ap) <= mr {
+			break
+		}
+		ap = ap[mr:]
+		bp = bp[nr:]
+	}
+
+	if rows == mr && cols == 4 {
+		r0 := c[0*ldc : 0*ldc+4]
+		r0[0] += c00
+		r0[1] += c01
+		r0[2] += c02
+		r0[3] += c03
+		r1 := c[1*ldc : 1*ldc+4]
+		r1[0] += c10
+		r1[1] += c11
+		r1[2] += c12
+		r1[3] += c13
+		r2 := c[2*ldc : 2*ldc+4]
+		r2[0] += c20
+		r2[1] += c21
+		r2[2] += c22
+		r2[3] += c23
+		r3 := c[3*ldc : 3*ldc+4]
+		r3[0] += c30
+		r3[1] += c31
+		r3[2] += c32
+		r3[3] += c33
+		return
+	}
+
+	// Edge tile: spill the accumulators and write back the live part only.
+	acc := [mr * 4]float64{
+		c00, c01, c02, c03,
+		c10, c11, c12, c13,
+		c20, c21, c22, c23,
+		c30, c31, c32, c33,
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[r*ldc : r*ldc+cols]
+		arow := acc[r*4:]
+		for j := range crow {
+			crow[j] += arow[j]
+		}
+	}
+}

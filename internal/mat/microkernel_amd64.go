@@ -1,0 +1,14 @@
+package mat
+
+// fmaKernel4x8 is the AVX2+FMA tile update implemented in
+// microkernel_amd64.s. kc must be >= 1 and the pointers must address packed
+// panels of at least kc*4 (ap), kc*8 (bp) and a full 4x8 C tile.
+//
+//go:noescape
+func fmaKernel4x8(kc int, ap, bp, c *float64, ldc int)
+
+// cpuidHasAVX2FMA reports whether the vector kernel is safe on this CPU.
+func cpuidHasAVX2FMA() bool
+
+// haveFMAKernel gates dispatch into fmaKernel4x8.
+var haveFMAKernel = cpuidHasAVX2FMA()

@@ -1,0 +1,139 @@
+// AVX2+FMA micro-kernel for the packed gemm hierarchy (see microkernel.go).
+// One 4x8 tile of C is held in eight YMM accumulators — four rows of two
+// registers each — while the k loop streams the packed panels: two vector
+// loads of B and four broadcasts of A feed eight fused multiply-adds per
+// step. Dispatched only when cpuidHasAVX2FMA reports FMA+AVX2 with OS
+// YMM-state support; every other path uses the scalar kernel.
+
+#include "textflag.h"
+
+// func fmaKernel4x8(kc int, ap, bp, c *float64, ldc int)
+//
+// C[r*ldc+j] += sum_l ap[l*4+r] * bp[l*8+j]  for r < 4, j < 8.
+TEXT ·fmaKernel4x8(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX            // row stride in bytes
+
+	VXORPD Y0, Y0, Y0      // row 0, cols 0-3
+	VXORPD Y1, Y1, Y1      // row 0, cols 4-7
+	VXORPD Y2, Y2, Y2      // row 1
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4      // row 2
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6      // row 3
+	VXORPD Y7, Y7, Y7
+
+	// Two k steps per iteration while possible.
+	MOVQ CX, R9
+	SHRQ $1, R9
+	JZ   tail
+
+loop2:
+	VMOVUPD (BX), Y8       // b[0:4]
+	VMOVUPD 32(BX), Y9     // b[4:8]
+	VBROADCASTSD (SI), Y10
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD 16(SI), Y10
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 24(SI), Y11
+	VFMADD231PD Y8, Y10, Y4
+	VFMADD231PD Y9, Y10, Y5
+	VFMADD231PD Y8, Y11, Y6
+	VFMADD231PD Y9, Y11, Y7
+
+	VMOVUPD 64(BX), Y12    // next k step
+	VMOVUPD 96(BX), Y13
+	VBROADCASTSD 32(SI), Y10
+	VBROADCASTSD 40(SI), Y11
+	VFMADD231PD Y12, Y10, Y0
+	VFMADD231PD Y13, Y10, Y1
+	VBROADCASTSD 48(SI), Y10
+	VFMADD231PD Y12, Y11, Y2
+	VFMADD231PD Y13, Y11, Y3
+	VBROADCASTSD 56(SI), Y11
+	VFMADD231PD Y12, Y10, Y4
+	VFMADD231PD Y13, Y10, Y5
+	VFMADD231PD Y12, Y11, Y6
+	VFMADD231PD Y13, Y11, Y7
+
+	ADDQ $64, SI
+	ADDQ $128, BX
+	DECQ R9
+	JNZ  loop2
+
+tail:
+	ANDQ $1, CX
+	JZ   writeback
+
+	VMOVUPD (BX), Y8
+	VMOVUPD 32(BX), Y9
+	VBROADCASTSD (SI), Y10
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD 16(SI), Y10
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 24(SI), Y11
+	VFMADD231PD Y8, Y10, Y4
+	VFMADD231PD Y9, Y10, Y5
+	VFMADD231PD Y8, Y11, Y6
+	VFMADD231PD Y9, Y11, Y7
+
+writeback:
+	VADDPD (DI), Y0, Y0
+	VADDPD 32(DI), Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ DX, DI
+	VADDPD (DI), Y2, Y2
+	VADDPD 32(DI), Y3, Y3
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ DX, DI
+	VADDPD (DI), Y4, Y4
+	VADDPD 32(DI), Y5, Y5
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ DX, DI
+	VADDPD (DI), Y6, Y6
+	VADDPD 32(DI), Y7, Y7
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidHasAVX2FMA() bool
+//
+// True when the CPU reports FMA, AVX and AVX2 and the OS has enabled
+// XMM+YMM state saving (XCR0 bits 1-2), i.e. fmaKernel4x8 is safe to run.
+TEXT ·cpuidHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8  // FMA, OSXSAVE, AVX
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX                        // XMM and YMM state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX                   // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 platforms always take the scalar micro-kernel.
+const haveFMAKernel = false
+
+// fmaKernel4x8 is never called when haveFMAKernel is false; this stub only
+// satisfies the compiler.
+func fmaKernel4x8(kc int, ap, bp, c *float64, ldc int) {
+	panic("mat: fmaKernel4x8 called without hardware support")
+}

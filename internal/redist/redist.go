@@ -56,10 +56,10 @@ func TransposeBlock(c rt.Ctx, ds, dd *grid.BlockDist, gsrc, gdst rt.Global) {
 		return region{RI: si, RN: sr, CJ: sj, CN: sc}
 	}
 	intersect := func(a, b region) (region, bool) {
-		ri := maxInt(a.RI, b.RI)
-		rhi := minInt(a.RI+a.RN, b.RI+b.RN)
-		cj := maxInt(a.CJ, b.CJ)
-		chi := minInt(a.CJ+a.CN, b.CJ+b.CN)
+		ri := max(a.RI, b.RI)
+		rhi := min(a.RI+a.RN, b.RI+b.RN)
+		cj := max(a.CJ, b.CJ)
+		chi := min(a.CJ+a.CN, b.CJ+b.CN)
 		if rhi <= ri || chi <= cj {
 			return region{}, false
 		}
@@ -145,8 +145,8 @@ func TransposeCyclic(c rt.Ctx, ds, dd *grid.CyclicDist, gsrc, gdst rt.Global) {
 	myRow, myCol := g.Coords(me)
 
 	tileShape := func(rows, cols, bi, bj int) (r, cc int) {
-		r = minInt(nb, rows-bi*nb)
-		cc = minInt(nb, cols-bj*nb)
+		r = min(nb, rows-bi*nb)
+		cc = min(nb, cols-bj*nb)
 		return
 	}
 	nTilesR := (dd.Rows + nb - 1) / nb
@@ -257,18 +257,4 @@ func TransposeCyclic(c rt.Ctx, ds, dd *grid.CyclicDist, gsrc, gdst rt.Global) {
 		c.Wait(h)
 	}
 	c.Barrier()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -84,6 +84,65 @@ func (m Mat) OpShape() (r, c int) {
 	return m.Rows, m.Cols
 }
 
+// KernelTuner is an optional capability of a Ctx (or of the engine ctx at
+// the bottom of a wrapper chain — discover it by walking Unwrap): setting
+// the number of worker goroutines the local Gemm kernel may use. Engines
+// that execute real flops honor it; the sim engine models a single-threaded
+// dgemm and ignores it. Callers find it with a type assertion and fall back
+// to the engine default when absent.
+type KernelTuner interface {
+	// SetKernelThreads sets this process's local-dgemm worker count.
+	// n <= 0 restores the engine default.
+	SetKernelThreads(n int)
+}
+
+// BufferReleaser is an optional capability of a Ctx: returning a LocalBuf
+// scratch buffer to the engine for reuse. A released buffer must not be
+// touched again by the caller. Engines without buffer pooling simply do not
+// implement it, and callers skip the release.
+type BufferReleaser interface {
+	ReleaseBuf(b Buffer)
+}
+
+// Unwrapper is implemented by Ctx middleware (fault injection, resilience)
+// so capability interfaces provided by the underlying engine stay
+// discoverable through the wrapper chain.
+type Unwrapper interface {
+	Unwrap() Ctx
+}
+
+// FindKernelTuner walks c's Unwrap chain and returns the first layer that
+// can tune kernel threads, or nil.
+func FindKernelTuner(c Ctx) KernelTuner {
+	for c != nil {
+		if t, ok := c.(KernelTuner); ok {
+			return t
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		c = u.Unwrap()
+	}
+	return nil
+}
+
+// FindBufferReleaser walks c's Unwrap chain and returns the first layer
+// that can recycle scratch buffers, or nil.
+func FindBufferReleaser(c Ctx) BufferReleaser {
+	for c != nil {
+		if r, ok := c.(BufferReleaser); ok {
+			return r
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		c = u.Unwrap()
+	}
+	return nil
+}
+
 // Stats accumulates per-process communication and computation accounting.
 // Times are in engine seconds (wall for the real engine, virtual for the
 // sim engine).

@@ -85,6 +85,11 @@ type MultiplyOptions struct {
 	NoDiagonalShift bool
 	NoSharedFirst   bool
 	SingleBuffer    bool
+	// KernelThreads sets how many goroutines each rank's local dgemm may
+	// use (SRUMMA only). Zero keeps the engine's oversubscription guard:
+	// GOMAXPROCS / nprocs workers per rank, at least one, so nprocs ranks
+	// multiplying at once do not oversubscribe the machine.
+	KernelThreads int
 	// Chaos, when non-nil, runs the multiply under deterministic fault
 	// injection with the recovery layer active (see ChaosOptions).
 	Chaos *ChaosOptions
@@ -206,6 +211,7 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			NoDiagonalShift: opts.NoDiagonalShift,
 			NoSharedFirst:   opts.NoSharedFirst,
 			SingleBuffer:    opts.SingleBuffer,
+			KernelThreads:   opts.KernelThreads,
 		}
 		da, db, dc := core.Dists(cl.g, d, opts.Case)
 		body = func(c rt.Ctx) {
