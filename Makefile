@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel verify repro chaos fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve serve-smoke verify repro chaos fuzz clean
 
 all: build test
 
@@ -13,6 +13,7 @@ build:
 test:
 	$(GO) test ./...
 	$(GO) test -run=NONE -bench=BenchmarkGemm/512 -benchtime=1x ./internal/mat
+	$(MAKE) serve-smoke
 
 race:
 	$(GO) test -race ./...
@@ -29,6 +30,34 @@ bench:
 # for recorded results).
 bench-kernel:
 	$(GO) run ./cmd/srumma-bench -kernel
+
+# End-to-end smoke of the GEMM service: start srumma-serve, drive a mixed
+# batch through srumma-load (every result checked against the serial
+# kernel, 429 backpressure exercised via a tiny queue), then SIGTERM and
+# assert a clean drain (the server exits non-zero on a WatchdogError).
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/srumma-serve ./cmd/srumma-serve; \
+	$(GO) build -o $$tmp/srumma-load ./cmd/srumma-load; \
+	$$tmp/srumma-serve -addr 127.0.0.1:18711 -nprocs 4 -teams 1 -queue-cap 2 -small-mnk 1000 & pid=$$!; \
+	set +e; \
+	$$tmp/srumma-load -addr http://127.0.0.1:18711 -concurrency 6 -requests 24 \
+	    -mix 24x24x24,96x96x96 -out $$tmp/bench.json; ok=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid; drain=$$?; \
+	set -e; test $$ok -eq 0; test $$drain -eq 0; echo "serve-smoke: PASS (clean drain)"
+
+# Serving benchmark: mixed shapes across both routes under concurrency,
+# recorded to BENCH_server.json (throughput + p50/p99 per mix entry).
+bench-serve:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/srumma-serve ./cmd/srumma-serve; \
+	$(GO) build -o $$tmp/srumma-load ./cmd/srumma-load; \
+	$$tmp/srumma-serve -addr 127.0.0.1:18713 -nprocs 4 -teams 1 & pid=$$!; \
+	set +e; \
+	$$tmp/srumma-load -addr http://127.0.0.1:18713 -concurrency 8 -requests 96 \
+	    -mix 32x32x32,96x96x96,256x256x256 -out BENCH_server.json; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid; drain=$$?; \
+	set -e; test $$rc -eq 0; test $$drain -eq 0
 
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:

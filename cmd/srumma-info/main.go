@@ -1,27 +1,41 @@
-// Command srumma-info prints the modeled platform profiles and the
-// analytic predictions of the paper's §2.1 efficiency model for each, so a
-// user can see exactly what machine parameters the reproduction rests on.
+// Command srumma-info prints the runtime kernel capability of THIS machine
+// (which micro-kernel the CPUID/OS gate selected, default kernel-thread
+// counts) followed by the modeled platform profiles and the analytic
+// predictions of the paper's §2.1 efficiency model for each, so a user can
+// see exactly what the reproduction rests on.
 //
 // Usage:
 //
-//	srumma-info                 # all platforms
+//	srumma-info                 # runtime capability + all platforms
 //	srumma-info -platform cray-x1
+//	srumma-info -runtime        # runtime capability only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	goruntime "runtime"
 
+	"srumma/internal/armci"
 	"srumma/internal/bench"
 	"srumma/internal/machine"
+	"srumma/internal/mat"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("srumma-info: ")
 	name := flag.String("platform", "", "show only this platform")
+	runtimeOnly := flag.Bool("runtime", false, "show only this machine's runtime capability")
 	flag.Parse()
+
+	if *name == "" {
+		showRuntime()
+	}
+	if *runtimeOnly {
+		return
+	}
 
 	profiles := []machine.Profile{
 		machine.LinuxMyrinet(), machine.IBMSP(), machine.CrayX1(), machine.SGIAltix(),
@@ -37,6 +51,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// showRuntime reports what the real engine will actually use on this
+// machine: the micro-kernel that passed its feature gate and the per-rank
+// kernel-thread defaults the oversubscription guard computes.
+func showRuntime() {
+	fmt.Println("runtime (this machine)")
+	fmt.Printf("  micro-kernel: %s (vector gate passed: %v)\n", mat.KernelName(), mat.HasVectorKernel())
+	fmt.Printf("  GOMAXPROCS: %d (NumCPU %d)\n", goruntime.GOMAXPROCS(0), goruntime.NumCPU())
+	fmt.Printf("  default kernel threads/rank:")
+	for _, nprocs := range []int{1, 4, 16} {
+		fmt.Printf(" %d ranks: %d;", nprocs, armci.DefaultKernelThreads(nprocs))
+	}
+	fmt.Println()
+	fmt.Println()
 }
 
 func show(p machine.Profile) {

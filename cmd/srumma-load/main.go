@@ -1,0 +1,358 @@
+// Command srumma-load drives a running srumma-serve instance with a
+// configurable concurrency level and shape mix, verifies every result
+// against the serial kernel, honors 429 backpressure with Retry-After
+// backoff, and emits a machine-readable benchmark report
+// (BENCH_server.json): throughput plus p50/p99 latency overall and per mix
+// entry.
+//
+//	srumma-load -addr http://127.0.0.1:8711 -concurrency 8 -requests 64 \
+//	    -mix 32x32x32,96x96x96,256x256x256 -out BENCH_server.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"srumma/internal/mat"
+	"srumma/internal/server"
+)
+
+type shape struct{ m, k, n int }
+
+func (s shape) String() string { return fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n) }
+
+func parseMix(spec string) ([]shape, error) {
+	var out []shape
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		dims := strings.Split(part, "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("bad shape %q (want MxKxN)", part)
+		}
+		var s shape
+		for i, p := range []*int{&s.m, &s.k, &s.n} {
+			v, err := strconv.Atoi(dims[i])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad shape %q: dimension %q", part, dims[i])
+			}
+			*p = v
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return out, nil
+}
+
+// workItem is one pre-generated request with its serial reference result.
+type workItem struct {
+	mix  int
+	body []byte
+	want *mat.Matrix
+}
+
+// outcome is one completed request as observed by the client.
+type outcome struct {
+	mix     int
+	route   string
+	latency float64 // seconds, including queueing and transport
+	gflops  float64 // server-side execution rate
+	retries int     // 429 rounds before admission
+	err     error
+}
+
+// MixReport is the per-shape slice of the benchmark report.
+type MixReport struct {
+	Shape        string  `json:"shape"`
+	Route        string  `json:"route"`
+	Count        int     `json:"count"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MeanMs       float64 `json:"mean_ms"`
+	ServerGFlops float64 `json:"server_gflops_mean"`
+}
+
+// Report is the BENCH_server.json document.
+type Report struct {
+	Addr        string `json:"addr"`
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	Mix         string `json:"mix"`
+
+	OK            int     `json:"ok"`
+	Errors        int     `json:"errors"`
+	Retries429    int     `json:"retries_429"`
+	WallSeconds   float64 `json:"wall_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+
+	Mixes []MixReport `json:"mixes"`
+
+	ServerMetrics *server.MetricsSnapshot `json:"server_metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("srumma-load: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8711", "server base URL")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	requests := flag.Int("requests", 64, "total requests to issue")
+	mixSpec := flag.String("mix", "32x32x32,96x96x96,192x192x192", "comma-separated MxKxN shapes, cycled")
+	verify := flag.Bool("verify", true, "check every result against the serial kernel")
+	tol := flag.Float64("tol", 1e-9, "max abs elementwise difference allowed under -verify")
+	out := flag.String("out", "BENCH_server.json", "report path ('-' for stdout)")
+	wait := flag.Duration("wait", 10*time.Second, "max time to wait for the server to report healthy")
+	seed := flag.Uint64("seed", 1, "base seed for generated matrices")
+	maxRetries := flag.Int("max-retries", 100, "429 retry rounds per request before giving up")
+	flag.Parse()
+
+	shapes, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := waitHealthy(*addr, *wait); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-generate one template per mix entry (shared across repeats): the
+	// request body bytes and the serial-kernel reference result.
+	items := make([]workItem, len(shapes))
+	for i, sh := range shapes {
+		a := mat.Random(sh.m, sh.k, *seed+uint64(3*i))
+		b := mat.Random(sh.k, sh.n, *seed+uint64(3*i)+1)
+		req := server.MultiplyRequest{
+			ID:    fmt.Sprintf("load-%s", sh),
+			ARows: sh.m, ACols: sh.k, A: a.Data,
+			BRows: sh.k, BCols: sh.n, B: b.Data,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := mat.New(sh.m, sh.n)
+		if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
+			log.Fatal(err)
+		}
+		items[i] = workItem{mix: i, body: body, want: want}
+	}
+
+	jobs := make(chan int)
+	results := make([]outcome, *requests)
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				it := items[idx%len(items)]
+				results[idx] = issue(client, *addr, it, *verify, *tol, *maxRetries)
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := buildReport(*addr, *concurrency, *requests, *mixSpec, shapes, results, wall)
+	rep.ServerMetrics = fetchMetrics(*addr)
+
+	if rep.Errors > 0 {
+		for _, r := range results {
+			if r.err != nil {
+				log.Printf("FAIL %s: %v", shapes[r.mix], r.err)
+			}
+		}
+	}
+	writeReport(rep, *out)
+	fmt.Printf("%d ok, %d errors, %d retry rounds (429), %.2f req/s, p50 %.1f ms, p99 %.1f ms\n",
+		rep.OK, rep.Errors, rep.Retries429, rep.ThroughputRPS, rep.P50Ms, rep.P99Ms)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not healthy after %s: %v", addr, wait, err)
+			}
+			return fmt.Errorf("server at %s not healthy after %s", addr, wait)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// issue posts one request, retrying on 429 backpressure (honoring
+// Retry-After but capping the pause so load tests finish promptly).
+func issue(client *http.Client, addr string, it workItem, verify bool, tol float64, maxRetries int) outcome {
+	o := outcome{mix: it.mix}
+	start := time.Now()
+	for {
+		resp, err := client.Post(addr+"/v1/multiply", "application/json", bytes.NewReader(it.body))
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			pause := 10 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				pause = time.Duration(math.Min(float64(ra)*float64(time.Second), float64(250*time.Millisecond)))
+			}
+			resp.Body.Close()
+			o.retries++
+			if o.retries > maxRetries {
+				o.err = fmt.Errorf("gave up after %d 429 rounds", maxRetries)
+				return o
+			}
+			time.Sleep(pause)
+			continue
+		}
+		var mresp server.MultiplyResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&mresp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			o.err = fmt.Errorf("status %d", resp.StatusCode)
+			return o
+		}
+		if decErr != nil {
+			o.err = decErr
+			return o
+		}
+		o.latency = time.Since(start).Seconds()
+		o.route = mresp.Route
+		o.gflops = mresp.GFlops
+		if verify {
+			got := &mat.Matrix{Rows: mresp.Rows, Cols: mresp.Cols, Stride: mresp.Cols, Data: mresp.C}
+			if got.Rows != it.want.Rows || got.Cols != it.want.Cols {
+				o.err = fmt.Errorf("shape %dx%d, want %dx%d", got.Rows, got.Cols, it.want.Rows, it.want.Cols)
+				return o
+			}
+			if diff := mat.MaxAbsDiff(got, it.want); diff > tol {
+				o.err = fmt.Errorf("result mismatch vs serial kernel: max abs diff %g > %g", diff, tol)
+				return o
+			}
+		}
+		return o
+	}
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func buildReport(addr string, concurrency, requests int, mixSpec string, shapes []shape, results []outcome, wall float64) *Report {
+	rep := &Report{Addr: addr, Concurrency: concurrency, Requests: requests, Mix: mixSpec, WallSeconds: wall}
+	var all []float64
+	perMix := make([][]float64, len(shapes))
+	gflops := make([]float64, len(shapes))
+	routes := make([]string, len(shapes))
+	counts := make([]int, len(shapes))
+	for _, r := range results {
+		rep.Retries429 += r.retries
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.OK++
+		all = append(all, r.latency)
+		perMix[r.mix] = append(perMix[r.mix], r.latency)
+		gflops[r.mix] += r.gflops
+		routes[r.mix] = r.route
+		counts[r.mix]++
+	}
+	sort.Float64s(all)
+	rep.P50Ms = percentile(all, 0.50) * 1e3
+	rep.P90Ms = percentile(all, 0.90) * 1e3
+	rep.P99Ms = percentile(all, 0.99) * 1e3
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall
+	}
+	for i, sh := range shapes {
+		lat := perMix[i]
+		sort.Float64s(lat)
+		var sum float64
+		for _, v := range lat {
+			sum += v
+		}
+		mr := MixReport{Shape: sh.String(), Route: routes[i], Count: counts[i],
+			P50Ms: percentile(lat, 0.50) * 1e3, P99Ms: percentile(lat, 0.99) * 1e3}
+		if counts[i] > 0 {
+			mr.MeanMs = sum / float64(counts[i]) * 1e3
+			mr.ServerGFlops = gflops[i] / float64(counts[i])
+		}
+		rep.Mixes = append(rep.Mixes, mr)
+	}
+	return rep
+}
+
+func fetchMetrics(addr string) *server.MetricsSnapshot {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap server.MetricsSnapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return nil
+	}
+	return &snap
+}
+
+func writeReport(rep *Report, path string) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if path == "-" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}

@@ -1,0 +1,91 @@
+// Command srumma-serve runs the GEMM service: persistent SRUMMA engine
+// teams behind an admission-controlled HTTP front end.
+//
+//	srumma-serve -addr :8711 -nprocs 4 -teams 1
+//
+// Endpoints: POST /v1/multiply, GET /metrics, GET /healthz, GET /v1/info.
+// SIGINT/SIGTERM triggers a graceful drain: in-flight requests finish (or
+// hit their deadlines), then the engine teams are closed with leaked-rank
+// detection.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	goruntime "runtime"
+	"syscall"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/mat"
+	"srumma/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("srumma-serve: ")
+
+	addr := flag.String("addr", ":8711", "listen address")
+	nprocs := flag.Int("nprocs", 4, "SPMD ranks per engine team (perfect square)")
+	ppn := flag.Int("procs-per-node", 0, "ranks per shared-memory domain (0: all)")
+	teams := flag.Int("teams", 1, "persistent engine teams (max concurrent SRUMMA jobs)")
+	queueCap := flag.Int("queue-cap", 0, "admitted-request bound; overflow gets 429 (0: 4*teams)")
+	smallMNK := flag.Int("small-mnk", 0, "route products with M*N*K <= this to the local kernel (0: 128^3)")
+	maxDim := flag.Int("max-dim", 0, "reject matrix dimensions beyond this (0: 4096)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	kernelThreads := flag.Int("kernel-threads", 0, "local-dgemm workers per rank (0: engine default)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "max time to drain in-flight work on shutdown")
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		NProcs:         *nprocs,
+		ProcsPerNode:   *ppn,
+		Teams:          *teams,
+		QueueCap:       *queueCap,
+		SmallMNK:       *smallMNK,
+		MaxDim:         *maxDim,
+		DefaultTimeout: *timeout,
+		KernelThreads:  *kernelThreads,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s: %d ranks/team, %d team(s), kernel %s, GOMAXPROCS %d",
+		l.Addr(), *nprocs, *teams, mat.KernelName(), goruntime.GOMAXPROCS(0))
+	log.Printf("default kernel threads/rank: %d", armci.DefaultKernelThreads(*nprocs))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("%s: draining (grace %s)", sig, *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		m := s.Metrics()
+		fmt.Printf("served %d requests (%d rejected, %d errors, %d cancelled), %.2f GFLOP total\n",
+			m.Completed, m.Rejected, m.Errors, m.Cancelled, m.FlopsTotal/1e9)
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	goruntime "runtime" // the package's own engine type is named runtime
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"srumma/internal/mat"
@@ -57,86 +56,25 @@ func (e *WatchdogError) Error() string {
 // Aborted ranks unwind through their next barrier or pending receive; a
 // rank blocked outside the runtime cannot be reclaimed (its goroutine
 // leaks until process exit), which the error records.
+//
+// The one-shot lifecycle is a fresh single-job Team: spawn ranks, run the
+// body, drain. Team (team.go) is the persistent form serving layers use.
 func RunWithTimeout(topo rt.Topology, timeout time.Duration, body func(rt.Ctx)) ([]*rt.Stats, error) {
-	if err := topo.Validate(); err != nil {
+	t, err := NewTeam(topo)
+	if err != nil {
 		return nil, err
 	}
-	r := &runtime{
-		topo:    topo,
-		barrier: newBarrier(topo.NProcs),
-		mbox:    newMailbox(),
-		slots:   make(map[int]*collSlot),
-		start:   time.Now(),
-	}
-	stats := make([]*rt.Stats, topo.NProcs)
-	errs := make([]error, topo.NProcs)
-	finished := make([]int32, topo.NProcs)
-	var wg sync.WaitGroup
-	for rank := 0; rank < topo.NProcs; rank++ {
-		c := &ctx{rt: r, rank: rank, stats: &rt.Stats{}, kernelThreads: defaultKernelThreads(topo.NProcs)}
-		stats[rank] = c.stats
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer atomic.StoreInt32(&finished[c.rank], 1)
-			defer func() {
-				if p := recover(); p != nil {
-					if _, secondary := p.(abortError); secondary {
-						errs[c.rank] = abortError{}
-					} else {
-						errs[c.rank] = fmt.Errorf("armci: rank %d panicked: %v", c.rank, p)
-					}
-					r.barrier.abort()
-					r.mbox.abort()
-				}
-			}()
-			body(c)
-		}()
-	}
-	if timeout > 0 {
-		done := make(chan struct{})
-		go func() {
-			wg.Wait()
-			close(done)
-		}()
-		select {
-		case <-done:
-		case <-time.After(timeout):
-			// Abort the collectives so runtime-blocked ranks unwind, give
-			// them a moment, then report whoever is still out there.
-			r.barrier.abort()
-			r.mbox.abort()
-			select {
-			case <-done:
-			case <-time.After(100 * time.Millisecond):
-			}
-			var stuck []int
-			for rank := range finished {
-				if atomic.LoadInt32(&finished[rank]) == 0 {
-					stuck = append(stuck, rank)
-				}
-			}
-			return stats, &WatchdogError{Timeout: timeout, Leaked: stuck}
-		}
-	} else {
-		wg.Wait()
-	}
-	// Prefer the original failure over secondary abort unwinds in other
-	// ranks.
-	var firstAbort error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if _, secondary := err.(abortError); secondary {
-			if firstAbort == nil {
-				firstAbort = err
-			}
-			continue
-		}
+	stats, err := t.RunWithTimeout(timeout, body)
+	if _, wedged := err.(*WatchdogError); wedged {
+		// The watchdog already reported the leaked ranks; don't make the
+		// caller wait out Close's grace period re-detecting them.
+		t.abandon()
 		return stats, err
 	}
-	return stats, firstAbort
+	if cerr := t.Close(); err == nil {
+		err = cerr
+	}
+	return stats, err
 }
 
 type runtime struct {
@@ -182,9 +120,24 @@ func defaultKernelThreads(nprocs int) int {
 	return max(1, goruntime.GOMAXPROCS(0)/nprocs)
 }
 
-// buffer is a real float64 buffer.
+// DefaultKernelThreads reports the engine's oversubscription guard for an
+// nprocs-rank run on this machine: the per-rank local-dgemm worker count a
+// rank gets when nothing overrides it. Exposed so operator tooling
+// (srumma-info) can show how a deployment will slice the machine.
+func DefaultKernelThreads(nprocs int) int {
+	return defaultKernelThreads(max(1, nprocs))
+}
+
+// buffer is a real float64 buffer. scratch marks buffers handed out by
+// LocalBuf (the only ones ReleaseBuf accepts); released marks a scratch
+// buffer currently surrendered to the pools. Together they make pooled
+// scratch misuse — double release, or releasing a Global segment / mailbox
+// payload — fail loudly instead of aliasing a recycled buffer into a later
+// request and silently breaking LocalBuf's zeroed-buffer guarantee.
 type buffer struct {
-	data []float64
+	data     []float64
+	scratch  bool
+	released bool
 }
 
 func (b *buffer) Len() int { return len(b.data) }
@@ -288,32 +241,44 @@ func (c *ctx) Free(g rt.Global) {
 func (c *ctx) LocalBuf(elems int) rt.Buffer {
 	c.stats.ScratchBytes += int64(elems) * 8
 	if elems <= 0 {
-		return &buffer{}
+		return &buffer{scratch: true}
 	}
 	cls := sizeClass(elems)
 	if cls >= scratchClasses {
-		return &buffer{data: make([]float64, elems)}
+		return &buffer{data: make([]float64, elems), scratch: true}
 	}
 	if v := scratchPools[cls].Get(); v != nil {
 		b := v.(*buffer)
 		b.data = b.data[:elems]
 		clear(b.data)
+		b.scratch, b.released = true, false
 		return b
 	}
-	b := &buffer{data: make([]float64, 1<<cls)}
+	b := &buffer{data: make([]float64, 1<<cls), scratch: true}
 	b.data = b.data[:elems]
 	return b
 }
 
 // ReleaseBuf returns a LocalBuf scratch buffer to the size-class pools
-// (rt.BufferReleaser). Only exact power-of-two capacities are recycled —
-// which is every buffer LocalBuf itself produced from a pooled class — so
-// foreign or oversized buffers fall through to the garbage collector.
+// (rt.BufferReleaser). Only buffers LocalBuf itself handed out are
+// accepted, exactly once: releasing a foreign buffer (a Global segment, a
+// mailbox payload, another engine's type) or the same buffer twice panics,
+// because pooling either would alias live or recycled memory into a later
+// LocalBuf and corrupt its zeroed-buffer guarantee. Oversized buffers
+// (beyond the largest pooled class) are accepted and fall through to the
+// garbage collector.
 func (c *ctx) ReleaseBuf(buf rt.Buffer) {
 	b, ok := buf.(*buffer)
 	if !ok {
-		return
+		panic(fmt.Sprintf("armci: ReleaseBuf of foreign buffer type %T", buf))
 	}
+	if !b.scratch {
+		panic("armci: ReleaseBuf of a buffer LocalBuf did not produce (Global segment or mailbox payload?)")
+	}
+	if b.released {
+		panic("armci: double ReleaseBuf of the same scratch buffer")
+	}
+	b.released = true
 	cp := cap(b.data)
 	if cp == 0 || cp&(cp-1) != 0 {
 		return

@@ -9,7 +9,7 @@ import (
 // testCtx builds a standalone ctx (no Run harness) for allocation tests.
 func testCtx() *ctx {
 	topo := rt.Topology{NProcs: 1, ProcsPerNode: 1}
-	r := &runtime{topo: topo, barrier: newBarrier(1), mbox: newMailbox()}
+	r := &runtime{topo: topo, barrier: newBarrier(1), mbox: newMailbox(), slots: make(map[int]*collSlot)}
 	return &ctx{rt: r, stats: &rt.Stats{}, kernelThreads: 1}
 }
 
@@ -46,16 +46,59 @@ func TestLocalBufSteadyStateNoAlloc(t *testing.T) {
 	}
 }
 
-func TestReleaseBufForeignBufferIgnored(t *testing.T) {
+// mustPanic runs f and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestReleaseBufForeignBufferPanics(t *testing.T) {
 	c := testCtx()
-	// Non-power-of-two capacity (not produced by a pooled class): must be
-	// dropped, not pooled, so a later LocalBuf cannot receive a buffer whose
-	// capacity lies about its size class.
-	c.ReleaseBuf(&buffer{data: make([]float64, 100)})
-	b := c.LocalBuf(100).(*buffer)
-	if cp := cap(b.data); cp&(cp-1) != 0 {
-		t.Fatalf("pool handed out non-class capacity %d", cp)
-	}
+	// A buffer LocalBuf did not produce — even one with a plausible pooled
+	// capacity — must be rejected loudly: pooling it would hand aliased
+	// memory to a later LocalBuf.
+	mustPanic(t, "ReleaseBuf(hand-built buffer)", func() {
+		c.ReleaseBuf(&buffer{data: make([]float64, 128)})
+	})
+}
+
+func TestReleaseBufGlobalSegmentPanics(t *testing.T) {
+	c := testCtx()
+	g := c.Malloc(64)
+	// Releasing a live Global segment is the catastrophic misuse: the pool
+	// would hand the array under a distributed operand to the next scratch
+	// request.
+	mustPanic(t, "ReleaseBuf(Local(g))", func() {
+		c.ReleaseBuf(c.Local(g))
+	})
+}
+
+func TestReleaseBufDoubleReleasePanics(t *testing.T) {
+	c := testCtx()
+	b := c.LocalBuf(1000)
+	c.ReleaseBuf(b)
+	mustPanic(t, "second ReleaseBuf", func() {
+		c.ReleaseBuf(b)
+	})
+	// A fresh hand-out of the same pooled header must be releasable again.
+	b2 := c.LocalBuf(1000)
+	c.ReleaseBuf(b2)
+}
+
+type foreignBuf struct{}
+
+func (foreignBuf) Len() int { return 0 }
+
+func TestReleaseBufForeignTypePanics(t *testing.T) {
+	c := testCtx()
+	mustPanic(t, "ReleaseBuf(foreign type)", func() {
+		c.ReleaseBuf(foreignBuf{})
+	})
 }
 
 // TestMailboxSteadyStateNoAlloc: after the first exchange establishes the

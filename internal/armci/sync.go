@@ -106,6 +106,9 @@ func getPayloadBuf(n int) *buffer {
 	if v := scratchPools[cls].Get(); v != nil {
 		b := v.(*buffer)
 		b.data = b.data[:n]
+		// Mailbox payloads are internal: clear the scratch mark so a payload
+		// that somehow reaches ReleaseBuf fails loudly as foreign.
+		b.scratch, b.released = false, false
 		return b
 	}
 	b := &buffer{data: make([]float64, 1<<cls)}

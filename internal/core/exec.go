@@ -1,11 +1,31 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"srumma/internal/grid"
 	"srumma/internal/rt"
 )
+
+// ErrCancelled is returned by Multiply when Options.Cancel fired before the
+// task list completed. Detect it with errors.Is; the run's C block is only
+// partially updated but the runtime, scratch pools and (on a persistent
+// team) the rank goroutines are all left healthy for the next multiply.
+var ErrCancelled = errors.New("core: multiply cancelled")
+
+// cancelled polls a Cancel channel without blocking.
+func cancelled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
 
 // fetchItem is one communication unit: the exact sub-block a task (or a
 // run of consecutive tasks) multiplies, fetched with a strided get from the
@@ -140,8 +160,9 @@ func MultiplyEx(c rt.Ctx, g *grid.Grid, d Dims, opts Options, alpha, beta float6
 	nLoc := dc.ColChunks[myCol].N
 
 	c.Barrier()
+	var execErr error
 	if len(tasks) > 0 {
-		execTasks(c, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
+		execErr = execTasks(c, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
 	} else if mLoc*nLoc > 0 {
 		// No contributions (cannot happen for valid dims, but keep C
 		// well-defined): C = beta*C via a k=0 multiply.
@@ -150,8 +171,11 @@ func MultiplyEx(c rt.Ctx, g *grid.Grid, d Dims, opts Options, alpha, beta float6
 		zeroB := rt.Mat{Buf: cb, LD: nLoc, Rows: 0, Cols: nLoc}
 		c.Gemm(1, zero, zeroB, beta, rt.Mat{Buf: cb, LD: nLoc, Rows: mLoc, Cols: nLoc})
 	}
+	// The exit barrier runs even on cancellation: every rank shares the
+	// Cancel signal and checks it at task granularity, so all of them reach
+	// this point and the collective sequence stays aligned.
 	c.Barrier()
-	return nil
+	return execErr
 }
 
 // rankHealth is the capability a fault-tolerant runtime layer (the
@@ -165,10 +189,9 @@ type rankHealth interface {
 	Degraded() bool
 }
 
-func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) {
+func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) error {
 	if h, ok := c.(rankHealth); ok {
-		execTasksResilient(c, h, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
-		return
+		return execTasksResilient(c, h, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
 	}
 	me := c.Rank()
 	transA, transB := opts.Case.TransA(), opts.Case.TransB()
@@ -216,6 +239,13 @@ func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb
 
 	cBuf := c.Local(gc)
 	for ti := range tasks {
+		if cancelled(opts.Cancel) {
+			// Outstanding nonblocking gets are simply never waited on — the
+			// real engine completes them eagerly, and their targets are the
+			// scratch buffers being surrendered right here anyway.
+			releaseScratch(c, bufsA, bufsB)
+			return ErrCancelled
+		}
 		t := &tasks[ti]
 		// Top up the pipeline: everything this task needs, plus (double
 		// buffered) everything the next task needs. Issuing item f evicts
@@ -282,6 +312,7 @@ func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb
 		c.Gemm(alpha, aMat, bMat, taskBeta, cMat)
 	}
 	releaseScratch(c, bufsA, bufsB)
+	return nil
 }
 
 // releaseScratch hands the per-multiply communication buffers back to the

@@ -101,6 +101,14 @@ type Options struct {
 	// refines the pipeline — the paper's "optimum block sizes were chosen
 	// empirically" knob. Zero means tasks span whole owner blocks.
 	MaxTaskK int
+	// Cancel, when non-nil, is a cancellation signal — typically a
+	// context.Done() channel — polled by the executors between tasks. Once
+	// it fires, remaining tasks are skipped, communication scratch is
+	// released back to the engine pools, the exit barrier still runs (every
+	// rank shares the signal, so the collective call sequence stays aligned
+	// and the engine team remains reusable), and Multiply returns
+	// ErrCancelled. C is left partially updated.
+	Cancel <-chan struct{}
 }
 
 // Dists returns the block distributions of A, B and C implied by the grid,

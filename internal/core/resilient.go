@@ -39,7 +39,7 @@ type inflight struct {
 	hb   rt.Handle
 }
 
-func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) {
+func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) error {
 	me := c.Rank()
 	transA, transB := opts.Case.TransA(), opts.Case.TransB()
 
@@ -159,6 +159,9 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 		c.Gemm(alpha, aMat, bMat, taskBeta, cMat)
 	}
 
+	if cancelled(opts.Cancel) {
+		return ErrCancelled
+	}
 	cur := issue(take(), 0)
 	for {
 		havePrefetch := false
@@ -170,12 +173,18 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 			havePrefetch = true
 		}
 		exec(cur)
+		if cancelled(opts.Cancel) {
+			// Skip the remaining tasks (including a prefetched one); the
+			// deferred releaseScratch surrenders the buffers its in-flight
+			// gets target, and nothing will read them.
+			return ErrCancelled
+		}
 		if havePrefetch {
 			cur = next
 			continue
 		}
 		if len(remaining) == 0 {
-			return
+			return nil
 		}
 		// Degraded (or single-buffer): blocking mode, no look-ahead.
 		cur = issue(take(), cur.slot)

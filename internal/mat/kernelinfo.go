@@ -1,0 +1,17 @@
+package mat
+
+// Runtime kernel capability report, for operator tooling (srumma-info) and
+// the serving layer's info endpoint: which micro-kernel the packed dgemm
+// hierarchy dispatches to on this machine.
+
+// HasVectorKernel reports whether the AVX2+FMA 4x8 micro-kernel passed its
+// CPUID/OS gate and is live. False means the portable scalar 4x4 kernel.
+func HasVectorKernel() bool { return haveFMAKernel }
+
+// KernelName identifies the active micro-kernel.
+func KernelName() string {
+	if haveFMAKernel {
+		return "avx2+fma 4x8"
+	}
+	return "scalar 4x4"
+}

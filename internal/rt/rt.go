@@ -104,6 +104,17 @@ type BufferReleaser interface {
 	ReleaseBuf(b Buffer)
 }
 
+// Runner abstracts "execute one SPMD body and return per-rank stats" — the
+// engine lifecycle, as opposed to Ctx, which is the in-body API. Two
+// lifecycles implement it on the real engine: the one-shot form (spawn
+// ranks, run, tear down; armci.OneShot) and the persistent team (ranks stay
+// parked between bodies; armci.Team). Harness and serving code written
+// against Runner works with either, so a test path and a production path
+// can share one multiply implementation.
+type Runner interface {
+	Run(body func(Ctx)) ([]*Stats, error)
+}
+
 // Unwrapper is implemented by Ctx middleware (fault injection, resilience)
 // so capability interfaces provided by the underlying engine stay
 // discoverable through the wrapper chain.

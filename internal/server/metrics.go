@@ -1,0 +1,233 @@
+package server
+
+// Serving metrics: monotonic counters, gauges derived from the admission
+// machinery, and latency quantiles from a streaming log-bucketed histogram.
+// Everything is O(1) per request and bounded in memory, so the metrics path
+// cannot become the bottleneck it is supposed to observe.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram buckets are geometric: bucket i covers latencies in
+// [histBase*histGrowth^(i-1), histBase*histGrowth^i), with bucket 0
+// catching everything below histBase. 96 buckets at 12% growth span 50us
+// to ~2.7h, which is wider than any admissible request.
+const (
+	histBuckets = 96
+	histBase    = 50e-6
+	histGrowth  = 1.12
+)
+
+// histogram is a streaming latency histogram. All methods are
+// mutex-guarded; contention is negligible at HTTP request rates.
+type histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	if seconds >= histBase {
+		i = 1 + int(math.Log(seconds/histBase)/math.Log(histGrowth))
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing it — a deliberate over-estimate, never flattering.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return histBase
+			}
+			ub := histBase * math.Pow(histGrowth, float64(i))
+			if ub > h.max && h.max > 0 {
+				return h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+func (h *histogram) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// RouteStats is the per-execution-tier slice of a metrics snapshot.
+type RouteStats struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+
+	Admitted  uint64 `json:"admitted_total"`
+	Completed uint64 `json:"completed_total"`
+	Rejected  uint64 `json:"rejected_429_total"`
+	Errors    uint64 `json:"error_total"`
+	Cancelled uint64 `json:"cancelled_total"`
+	// TeamsReplaced counts pooled engine teams retired after leaking ranks.
+	TeamsReplaced uint64 `json:"teams_replaced_total"`
+
+	QueueDepth int `json:"queue_depth"`
+	Executing  int `json:"executing"`
+	QueueCap   int `json:"queue_cap"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// GFlopsServed is aggregate useful arithmetic divided by uptime.
+	GFlopsServed float64 `json:"gflops_served"`
+	FlopsTotal   float64 `json:"flops_total"`
+
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	Routes map[string]RouteStats `json:"routes"`
+}
+
+type metrics struct {
+	start    time.Time
+	queueCap int
+
+	mu            sync.Mutex
+	admitted      uint64
+	completed     uint64
+	rejected      uint64
+	errors        uint64
+	cancelled     uint64
+	teamsReplaced uint64
+	inFlight      int
+	executing     int
+	flops         float64
+	overall       histogram
+	routes        map[string]*histogram
+}
+
+func newMetrics(queueCap int) *metrics {
+	return &metrics{
+		start:    time.Now(),
+		queueCap: queueCap,
+		routes:   map[string]*histogram{routeSmall: {}, routeSRUMMA: {}},
+	}
+}
+
+func (m *metrics) admit() {
+	m.mu.Lock()
+	m.admitted++
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) execStart() {
+	m.mu.Lock()
+	m.executing++
+	m.mu.Unlock()
+}
+
+// finish settles one admitted request. route is "" for requests that never
+// executed (bad input discovered post-admission, cancellation while
+// queued); outcome is one of "ok", "error", "cancelled".
+func (m *metrics) finish(route string, outcome string, latency time.Duration, flops float64, executed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight--
+	if executed {
+		m.executing--
+	}
+	switch outcome {
+	case "ok":
+		m.completed++
+		m.flops += flops
+		m.overall.observe(latency.Seconds())
+		if h := m.routes[route]; h != nil {
+			h.observe(latency.Seconds())
+		}
+	case "cancelled":
+		m.cancelled++
+	default:
+		m.errors++
+	}
+}
+
+func (m *metrics) teamReplaced() {
+	m.mu.Lock()
+	m.teamsReplaced++
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := time.Since(m.start).Seconds()
+	s := MetricsSnapshot{
+		UptimeSeconds: up,
+		Admitted:      m.admitted,
+		Completed:     m.completed,
+		Rejected:      m.rejected,
+		Errors:        m.errors,
+		Cancelled:     m.cancelled,
+		TeamsReplaced: m.teamsReplaced,
+		QueueDepth:    m.inFlight - m.executing,
+		Executing:     m.executing,
+		QueueCap:      m.queueCap,
+		FlopsTotal:    m.flops,
+		LatencyP50Ms:  m.overall.quantile(0.50) * 1e3,
+		LatencyP90Ms:  m.overall.quantile(0.90) * 1e3,
+		LatencyP99Ms:  m.overall.quantile(0.99) * 1e3,
+		LatencyMeanMs: m.overall.mean() * 1e3,
+		LatencyMaxMs:  m.overall.max * 1e3,
+		Routes:        make(map[string]RouteStats, len(m.routes)),
+	}
+	if up > 0 {
+		s.ThroughputRPS = float64(m.completed) / up
+		s.GFlopsServed = m.flops / up / 1e9
+	}
+	for name, h := range m.routes {
+		s.Routes[name] = RouteStats{
+			Count:  h.total,
+			P50Ms:  h.quantile(0.50) * 1e3,
+			P99Ms:  h.quantile(0.99) * 1e3,
+			MeanMs: h.mean() * 1e3,
+		}
+	}
+	return s
+}

@@ -1,0 +1,506 @@
+// Package server is the GEMM-as-a-service layer: an HTTP front end that
+// turns the SRUMMA engine from a one-shot library call into a long-running
+// service. It combines
+//
+//   - a pool of persistent engine teams (armci.Team) whose rank goroutines,
+//     kernel-thread configuration and scratch pools stay warm across
+//     requests;
+//   - an admission-controlled request queue with backpressure: a bounded
+//     number of requests is admitted (queued + executing); overflow is
+//     refused immediately with 429 and a Retry-After hint rather than
+//     buffered without bound;
+//   - size-based routing across execution tiers (cf. the hierarchical
+//     platform argument of Quintin et al.): small products run directly on
+//     the local packed parallel kernel, large ones on the distributed
+//     SRUMMA engine;
+//   - per-request deadlines enforced as cooperative cancellation between
+//     SRUMMA tasks (core.Options.Cancel), so an expired request releases
+//     its engine promptly and the team survives for the next one;
+//   - observability (/metrics with streaming latency quantiles, /healthz)
+//     and graceful shutdown that drains in-flight work.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	goruntime "runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/core"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+)
+
+// Execution tiers.
+const (
+	routeSmall  = "small"
+	routeSRUMMA = "srumma"
+)
+
+// Config sizes the service. The zero value gets production-lean defaults
+// from fill().
+type Config struct {
+	// NProcs is the SPMD rank count of each pooled team (default 4).
+	NProcs int
+	// ProcsPerNode groups ranks into shared-memory domains (default:
+	// NProcs, one machine-wide domain).
+	ProcsPerNode int
+	// Teams is the number of persistent engine teams, i.e. the maximum
+	// concurrently executing SRUMMA requests (default 1).
+	Teams int
+	// QueueCap bounds ADMITTED requests — executing plus waiting. Requests
+	// beyond it are refused with 429 (default 4 * Teams).
+	QueueCap int
+	// SmallMNK routes products with M*N*K at or below it to the direct
+	// local kernel instead of the distributed engine (default 2^21,
+	// i.e. 128^3).
+	SmallMNK int
+	// MaxDim rejects any matrix dimension beyond it (default 4096).
+	MaxDim int
+	// DefaultTimeout bounds requests that do not set timeout_ms (default
+	// 30s); MaxTimeout caps what a request may ask for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// KernelThreads is the per-rank local-dgemm worker count used when a
+	// request does not choose one; 0 keeps the engine default.
+	KernelThreads int
+}
+
+func (c Config) fill() Config {
+	if c.NProcs <= 0 {
+		c.NProcs = 4
+	}
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = c.NProcs
+	}
+	if c.Teams <= 0 {
+		c.Teams = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.Teams
+	}
+	if c.SmallMNK <= 0 {
+		c.SmallMNK = 128 * 128 * 128
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the GEMM service. Create with New, expose via Handler or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	topo rt.Topology
+	g    *grid.Grid
+
+	slots chan struct{}    // admission tokens, cap = QueueCap
+	teams chan *armci.Team // engine pool, cap = Teams
+
+	met      *metrics
+	draining atomic.Bool
+	jobs     sync.WaitGroup // in-flight multiply handlers
+
+	mux *http.ServeMux
+
+	hsMu sync.Mutex
+	hs   *http.Server
+}
+
+// New builds a server and spins up its persistent engine teams.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.fill()
+	g, err := grid.Square(cfg.NProcs)
+	if err != nil {
+		return nil, err
+	}
+	topo := rt.Topology{NProcs: cfg.NProcs, ProcsPerNode: cfg.ProcsPerNode, DomainSpansMachine: cfg.ProcsPerNode >= cfg.NProcs}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		topo:  topo,
+		g:     g,
+		slots: make(chan struct{}, cfg.QueueCap),
+		teams: make(chan *armci.Team, cfg.Teams),
+		met:   newMetrics(cfg.QueueCap),
+	}
+	for i := 0; i < cfg.Teams; i++ {
+		tm, err := armci.NewTeam(topo)
+		if err != nil {
+			s.closeTeams()
+			return nil, err
+		}
+		s.teams <- tm
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a point-in-time metrics snapshot.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the service: new work is refused (healthz goes 503,
+// multiplies get 503), in-flight requests run to completion (or their
+// deadlines), the listener closes, and the engine teams are closed with
+// leaked-rank detection — a team that fails to drain surfaces as a
+// *WatchdogError.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var herr error
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		herr = hs.Shutdown(ctx) // waits for in-flight HTTP handlers
+	}
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	if cerr := s.closeTeams(); cerr != nil {
+		return cerr
+	}
+	return herr
+}
+
+func (s *Server) closeTeams() error {
+	var first error
+	for {
+		select {
+		case tm := <-s.teams:
+			if err := tm.Close(); err != nil && first == nil {
+				first = err
+			}
+		default:
+			return first
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot())
+}
+
+// InfoResponse is the body of GET /v1/info: the deployment parameters an
+// operator or load balancer needs.
+type InfoResponse struct {
+	NProcs        int    `json:"nprocs"`
+	ProcsPerNode  int    `json:"procs_per_node"`
+	Teams         int    `json:"teams"`
+	QueueCap      int    `json:"queue_cap"`
+	SmallMNK      int    `json:"small_mnk"`
+	MaxDim        int    `json:"max_dim"`
+	Kernel        string `json:"kernel"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	KernelThreads int    `json:"default_kernel_threads"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	kt := s.cfg.KernelThreads
+	if kt <= 0 {
+		kt = armci.DefaultKernelThreads(s.cfg.NProcs)
+	}
+	writeJSON(w, http.StatusOK, InfoResponse{
+		NProcs:        s.cfg.NProcs,
+		ProcsPerNode:  s.cfg.ProcsPerNode,
+		Teams:         s.cfg.Teams,
+		QueueCap:      s.cfg.QueueCap,
+		SmallMNK:      s.cfg.SmallMNK,
+		MaxDim:        s.cfg.MaxDim,
+		Kernel:        mat.KernelName(),
+		GOMAXPROCS:    goruntime.GOMAXPROCS(0),
+		KernelThreads: kt,
+	})
+}
+
+// retryAfter estimates how long an overflowing client should back off:
+// optimistically one mean service time, at least one second.
+func (s *Server) retryAfter() int {
+	snap := s.met.snapshot()
+	secs := int(snap.LatencyMeanMs/1e3) + 1
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	var req MultiplyRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	cs, err := parseCase(req.Case)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{ID: req.ID, Error: err.Error()})
+		return
+	}
+	d, err := req.dims(cs, s.cfg.MaxDim)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{ID: req.ID, Error: err.Error()})
+		return
+	}
+
+	// Admission: a bounded number of requests may be in the building.
+	// Overflow is backpressure, not buffering.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		ra := s.retryAfter()
+		s.met.reject()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
+		return
+	}
+	s.jobs.Add(1)
+	s.met.admit()
+	admitted := time.Now()
+	defer func() {
+		<-s.slots
+		s.jobs.Done()
+	}()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, status, eresp := s.execute(ctx, &req, cs, d, admitted)
+	if eresp != nil {
+		writeJSON(w, status, *eresp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute routes and runs one admitted request, settling metrics exactly
+// once. It returns either a success response or an error response with its
+// HTTP status.
+func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, admitted time.Time) (*MultiplyResponse, int, *ErrorResponse) {
+	route := routeSRUMMA
+	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
+		route = routeSmall
+	}
+	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
+
+	var (
+		out      *mat.Matrix
+		queueed  time.Duration
+		execTime time.Duration
+		err      error
+	)
+	switch route {
+	case routeSmall:
+		s.met.execStart()
+		queueed = time.Since(admitted)
+		t0 := time.Now()
+		out, err = s.runSmall(ctx, req, cs, d)
+		execTime = time.Since(t0)
+	default:
+		var tm *armci.Team
+		select {
+		case tm = <-s.teams:
+		case <-ctx.Done():
+			s.met.finish(route, "cancelled", 0, 0, false)
+			return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "deadline exceeded while queued"}
+		}
+		s.met.execStart()
+		queueed = time.Since(admitted)
+		t0 := time.Now()
+		out, err = s.runSRUMMA(ctx, tm, req, cs, d)
+		execTime = time.Since(t0)
+		s.recycleTeam(tm, err)
+	}
+
+	switch {
+	case err == nil:
+		total := time.Since(admitted)
+		s.met.finish(route, "ok", total, flops, true)
+		resp := &MultiplyResponse{
+			ID:            req.ID,
+			Rows:          d.M,
+			Cols:          d.N,
+			C:             out.Data,
+			Route:         route,
+			QueueMillis:   queueed.Seconds() * 1e3,
+			ElapsedMillis: execTime.Seconds() * 1e3,
+		}
+		if secs := execTime.Seconds(); secs > 0 {
+			resp.GFlops = flops / secs / 1e9
+		}
+		return resp, http.StatusOK, nil
+	case errors.Is(err, core.ErrCancelled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.met.finish(route, "cancelled", 0, 0, true)
+		return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()}
+	default:
+		s.met.finish(route, "error", 0, 0, true)
+		return nil, http.StatusInternalServerError, &ErrorResponse{ID: req.ID, Error: err.Error()}
+	}
+}
+
+// recycleTeam returns a team to the pool, replacing it first when the run
+// leaked ranks (a wedged team never accepts another job).
+func (s *Server) recycleTeam(tm *armci.Team, runErr error) {
+	var werr *armci.WatchdogError
+	if errors.As(runErr, &werr) && len(werr.Leaked) > 0 {
+		tm.Close() // returns the leak report again; already surfaced to the caller
+		if fresh, err := armci.NewTeam(s.topo); err == nil {
+			s.met.teamReplaced()
+			s.teams <- fresh
+			return
+		}
+		// Could not replace: shrink the pool rather than pool a corpse.
+		s.met.teamReplaced()
+		return
+	}
+	s.teams <- tm
+}
+
+// runSmall executes the request on the local packed parallel kernel — the
+// fast tier for products too small to amortize distribution.
+func (s *Server) runSmall(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims) (*mat.Matrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a := &mat.Matrix{Rows: req.ARows, Cols: req.ACols, Stride: req.ACols, Data: req.A}
+	b := &mat.Matrix{Rows: req.BRows, Cols: req.BCols, Stride: req.BCols, Data: req.B}
+	c := mat.New(d.M, d.N)
+	if req.beta() != 0 {
+		copy(c.Data, req.C)
+	}
+	threads := req.KernelThreads
+	if threads <= 0 {
+		threads = s.cfg.KernelThreads
+	}
+	if threads <= 0 {
+		threads = goruntime.GOMAXPROCS(0)
+	}
+	if err := mat.GemmParallel(threads, cs.TransA(), cs.TransB(), req.alpha(), a, b, req.beta(), c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// runSRUMMA executes the request on a persistent engine team: distribute,
+// multiply under the request deadline, gather.
+func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyRequest, cs core.Case, d core.Dims) (*mat.Matrix, error) {
+	a := &mat.Matrix{Rows: req.ARows, Cols: req.ACols, Stride: req.ACols, Data: req.A}
+	b := &mat.Matrix{Rows: req.BRows, Cols: req.BCols, Stride: req.BCols, Data: req.B}
+	var cIn *mat.Matrix
+	if req.beta() != 0 {
+		cIn = &mat.Matrix{Rows: d.M, Cols: d.N, Stride: d.N, Data: req.C}
+	}
+	cOpts := core.Options{
+		Case:          cs,
+		Flavor:        core.FlavorDirect,
+		KernelThreads: req.KernelThreads,
+		Cancel:        ctx.Done(),
+	}
+	if cOpts.KernelThreads <= 0 {
+		cOpts.KernelThreads = s.cfg.KernelThreads
+	}
+	da, db, dc := core.Dists(s.g, d, cs)
+	n := s.topo.NProcs
+	errs := make([]error, n)
+	co := driver.NewCollect(n)
+	_, err := tm.Run(func(c rt.Ctx) {
+		// Restore the per-request kernel-thread configuration explicitly:
+		// team ranks keep the previous request's setting warm, which is
+		// only correct if every request states its own.
+		if kt := rt.FindKernelTuner(c); kt != nil {
+			kt.SetKernelThreads(cOpts.KernelThreads)
+		}
+		ga := driver.AllocBlock(c, da)
+		gb := driver.AllocBlock(c, db)
+		gc := driver.AllocBlock(c, dc)
+		driver.LoadBlock(c, da, ga, a)
+		driver.LoadBlock(c, db, gb, b)
+		if cIn != nil {
+			driver.LoadBlock(c, dc, gc, cIn)
+		}
+		errs[c.Rank()] = core.MultiplyEx(c, s.g, d, cOpts, req.alpha(), req.beta(), ga, gb, gc)
+		co.Deposit(c, driver.StoreBlock(c, dc, gc))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return grid.NewBlockDist(s.g, d.M, d.N).Gather(co.Blocks)
+}

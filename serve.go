@@ -1,0 +1,32 @@
+package srumma
+
+// Public surface of the serving layer: GEMM-as-a-service on persistent
+// engine teams. See cmd/srumma-serve for the standalone daemon and
+// cmd/srumma-load for the load-test harness.
+
+import (
+	"srumma/internal/armci"
+	"srumma/internal/server"
+)
+
+// Server is an HTTP GEMM service: an admission-controlled request queue
+// (429 + Retry-After on overflow) in front of a pool of persistent SRUMMA
+// engine teams, with size-based routing between the direct local kernel and
+// the distributed engine, per-request deadlines enforced as cooperative
+// cancellation, /metrics and /healthz, and graceful draining shutdown.
+type Server = server.Server
+
+// ServerConfig sizes a Server; the zero value gets serviceable defaults
+// (4 ranks per team, 1 team, queue capacity 4).
+type ServerConfig = server.Config
+
+// ServerMetrics is the snapshot served by GET /metrics.
+type ServerMetrics = server.MetricsSnapshot
+
+// NewServer builds a GEMM service and spins up its persistent engine teams.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// WatchdogError reports SPMD processes that missed an engine deadline: a
+// one-shot run that timed out, or a persistent team whose ranks failed to
+// park (leak) — see its Leaked field for who.
+type WatchdogError = armci.WatchdogError

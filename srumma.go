@@ -22,6 +22,7 @@
 package srumma
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,7 +94,16 @@ type MultiplyOptions struct {
 	// Chaos, when non-nil, runs the multiply under deterministic fault
 	// injection with the recovery layer active (see ChaosOptions).
 	Chaos *ChaosOptions
+	// Context, when non-nil, bounds the multiply (SRUMMA only): if it is
+	// cancelled or its deadline passes, every process stops between tasks,
+	// releases its pooled scratch, and Multiply returns ErrCancelled with C
+	// left partially updated. The engine stays usable afterwards.
+	Context context.Context
 }
+
+// ErrCancelled is returned by Multiply when MultiplyOptions.Context is
+// cancelled mid-flight.
+var ErrCancelled = core.ErrCancelled
 
 // FaultConfig parameterizes the deterministic fault injector.
 type FaultConfig = faults.Config
@@ -140,6 +150,7 @@ type Report struct {
 type Cluster struct {
 	topo     rt.Topology
 	g        *grid.Grid
+	team     *armci.Team
 	lastComm commTotals
 }
 
@@ -179,6 +190,41 @@ func NewClusterFor(nprocs, procsPerNode int, sharedMachine bool, m, n int) (*Clu
 	return &Cluster{topo: topo, g: g}, nil
 }
 
+// Persist switches the cluster to a persistent engine team: its SPMD rank
+// goroutines are spawned once and parked between Multiply calls, keeping
+// size-class buffer pools and kernel-thread configuration warm. Results are
+// bit-identical to the default one-shot mode; what changes is per-call
+// overhead (no spawn/teardown, zero steady-state allocations in the
+// buffer-pool cycle). Call Close when done. Chaos runs always use a
+// dedicated one-shot engine, persistent or not.
+func (cl *Cluster) Persist() error {
+	if cl.team != nil {
+		return nil
+	}
+	tm, err := armci.NewTeam(cl.topo)
+	if err != nil {
+		return err
+	}
+	cl.team = tm
+	return nil
+}
+
+// Persistent reports whether a persistent engine team is active.
+func (cl *Cluster) Persistent() bool { return cl.team != nil }
+
+// Close drains the persistent engine team, if any. A rank that fails to
+// park within the grace period is reported as a *WatchdogError-wrapped
+// leak. Close is a no-op for one-shot clusters; the cluster reverts to
+// one-shot mode afterwards either way.
+func (cl *Cluster) Close() error {
+	if cl.team == nil {
+		return nil
+	}
+	err := cl.team.Close()
+	cl.team = nil
+	return err
+}
+
 // Procs returns the process count.
 func (cl *Cluster) Procs() int { return cl.topo.NProcs }
 
@@ -213,7 +259,11 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			SingleBuffer:    opts.SingleBuffer,
 			KernelThreads:   opts.KernelThreads,
 		}
+		if opts.Context != nil {
+			cOpts.Cancel = opts.Context.Done()
+		}
 		da, db, dc := core.Dists(cl.g, d, opts.Case)
+		rankErrs := make([]error, cl.topo.NProcs)
 		body = func(c rt.Ctx) {
 			ga := driver.AllocBlock(c, da)
 			gb := driver.AllocBlock(c, db)
@@ -221,14 +271,17 @@ func (cl *Cluster) Multiply(a, b *Matrix, opts MultiplyOptions) (*Matrix, *Repor
 			driver.LoadBlock(c, da, ga, a)
 			driver.LoadBlock(c, db, gb, b)
 			t0 := c.Now()
-			if err := core.Multiply(c, cl.g, d, cOpts, ga, gb, gc); err != nil {
-				panic(err)
-			}
+			rankErrs[c.Rank()] = core.Multiply(c, cl.g, d, cOpts, ga, gb, gc)
 			durations[c.Rank()] = c.Now() - t0
 			co.Deposit(c, driver.StoreBlock(c, dc, gc))
 		}
 		if err := cl.run(body, opts.Chaos); err != nil {
 			return nil, nil, err
+		}
+		for _, rerr := range rankErrs {
+			if rerr != nil {
+				return nil, nil, rerr
+			}
 		}
 		dcD := grid.NewBlockDist(cl.g, d.M, d.N)
 		cMat, err = dcD.Gather(co.Blocks)
@@ -359,6 +412,8 @@ func (cl *Cluster) run(body func(rt.Ctx), chaos *ChaosOptions) error {
 		stats, err = armci.RunWithTimeout(cl.topo, timeout, func(c rt.Ctx) {
 			inner(faults.Resilient(faults.Inject(c, plan, nil), chaos.Recovery))
 		})
+	} else if cl.team != nil {
+		stats, err = cl.team.Run(body)
 	} else {
 		stats, err = armci.Run(cl.topo, body)
 	}
