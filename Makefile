@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve serve-smoke verify repro chaos fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke verify repro chaos fuzz clean
 
 all: build test
 
@@ -31,20 +31,34 @@ bench:
 bench-kernel:
 	$(GO) run ./cmd/srumma-bench -kernel
 
-# End-to-end smoke of the GEMM service: start srumma-serve, drive a mixed
-# batch through srumma-load (every result checked against the serial
-# kernel, 429 backpressure exercised via a tiny queue), then SIGTERM and
-# assert a clean drain (the server exits non-zero on a WatchdogError).
+# End-to-end smoke of the GEMM service: start srumma-serve (workload
+# scheduler mode, elastic pool), drive a class-tagged deadline-hinted mix
+# through srumma-load — small shapes coalesce into batched team jobs, the
+# large shape runs as an engine singleton, 429 backpressure exercised via
+# a tiny queue (every result checked against the serial kernel) — then
+# SIGTERM and assert a clean drain (the server exits non-zero on a
+# WatchdogError).
 serve-smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/srumma-serve ./cmd/srumma-serve; \
 	$(GO) build -o $$tmp/srumma-load ./cmd/srumma-load; \
-	$$tmp/srumma-serve -addr 127.0.0.1:18711 -nprocs 4 -teams 1 -queue-cap 2 -small-mnk 1000 & pid=$$!; \
+	$$tmp/srumma-serve -addr 127.0.0.1:18711 -nprocs 4 -teams 1 -max-teams 2 \
+	    -queue-cap 2 -batch-max 8 & pid=$$!; \
 	set +e; \
 	$$tmp/srumma-load -addr http://127.0.0.1:18711 -concurrency 6 -requests 24 \
-	    -mix 24x24x24,96x96x96 -out $$tmp/bench.json; ok=$$?; \
+	    -mix 24x24x24,96x96x96,160x160x160 -classes interactive:2,batch:1 \
+	    -deadline 5s -out $$tmp/bench.json; ok=$$?; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid; drain=$$?; \
-	set -e; test $$ok -eq 0; test $$drain -eq 0; echo "serve-smoke: PASS (clean drain)"
+	set -e; test $$ok -eq 0; test $$drain -eq 0; \
+	grep -q '"interactive"' $$tmp/bench.json; grep -q '"batch"' $$tmp/bench.json; \
+	echo "serve-smoke: PASS (clean drain, class stats recorded)"
+
+# Scheduler benchmark: (a) batched coalescing of queued small GEMMs vs
+# per-request engine dispatch (bit-identity asserted), (b) mixed
+# interactive/batch load through sched vs fifo dispatch (interactive p99
+# gain). Recorded to BENCH_sched.json.
+bench-sched:
+	$(GO) run ./cmd/srumma-load -bench-sched -out BENCH_sched.json
 
 # Serving benchmark: mixed shapes across both routes under concurrency,
 # recorded to BENCH_server.json (throughput + p50/p99 per mix entry).
@@ -69,9 +83,12 @@ repro:
 	$(GO) run ./cmd/srumma-bench -all
 
 # Fault-injection sweep on the real engine: every fault class, three
-# seeds, recovery layer active (see DESIGN.md "Fault model").
+# seeds, recovery layer active (see DESIGN.md "Fault model"), plus the
+# serving-layer case of a team crash mid-batch requeueing the batch's
+# unfinished tasks onto a replacement team.
 chaos:
 	$(GO) run ./cmd/srumma-bench -chaos
+	$(GO) test -count=1 -run TestServerSchedChaosCrashRequeue ./internal/server
 
 # Short fuzzing session over the numeric kernels, index math, and the
 # fault planner.

@@ -1,30 +1,54 @@
 // Command srumma-load drives a running srumma-serve instance with a
-// configurable concurrency level and shape mix, verifies every result
-// against the serial kernel, honors 429 backpressure with Retry-After
-// backoff, and emits a machine-readable benchmark report
-// (BENCH_server.json): throughput plus p50/p99 latency overall and per mix
-// entry.
+// configurable concurrency level, shape mix and workload-class mix,
+// verifies every result against the serial kernel, honors 429
+// backpressure with Retry-After backoff, and emits a machine-readable
+// benchmark report (BENCH_server.json): throughput plus p50/p99 latency
+// overall, per mix entry and per workload class.
 //
 //	srumma-load -addr http://127.0.0.1:8711 -concurrency 8 -requests 64 \
-//	    -mix 32x32x32,96x96x96,256x256x256 -out BENCH_server.json
+//	    -mix 32x32x32,96x96x96,256x256x256 -classes interactive:3,batch:1 \
+//	    -deadline 500ms -out BENCH_server.json
+//
+// With -bench-sched it instead runs the self-contained scheduler
+// benchmark (no external server needed) and writes BENCH_sched.json:
+//
+//   - batch coalescing: >=64 queued 64x64x64 GEMMs executed through the
+//     workload scheduler on one persistent engine team, three arms —
+//     batched (BatchMax 64), coalescing disabled (BatchMax 1), and
+//     per-request engine dispatch (a full distribute/SRUMMA/gather job
+//     per product, the pre-scheduler serving path) — with batched
+//     results checked bit-identical against the serial kernel;
+//   - mixed load: an interactive/batch class mix driven through the full
+//     HTTP server in "sched" and "fifo" modes, reporting per-class
+//     latency quantiles and the interactive p99 improvement.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"srumma/internal/armci"
+	"srumma/internal/core"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
 	"srumma/internal/mat"
+	"srumma/internal/rt"
+	"srumma/internal/sched"
 	"srumma/internal/server"
 )
 
@@ -59,20 +83,71 @@ func parseMix(spec string) ([]shape, error) {
 	return out, nil
 }
 
+// classAssign is one slot of the cyclic class pattern: requests are
+// tagged round-robin through the expanded weights, so a spec of
+// "interactive:3,batch:1" tags 3 of every 4 requests interactive.
+type classAssign struct {
+	name       string
+	deadlineMs int64
+}
+
+// parseClasses expands "interactive:3,batch:1" into the cyclic pattern.
+// deadline, when positive, is attached (as the EDF placement hint
+// deadline_ms) to interactive-class requests only: batch work is
+// throughput-oriented and runs deadline-less.
+func parseClasses(spec string, deadline time.Duration) ([]classAssign, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var pattern []classAssign
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasW := strings.Cut(part, ":")
+		if _, err := sched.ParseClass(name); err != nil || name == "" {
+			return nil, fmt.Errorf("bad class %q in %q", name, spec)
+		}
+		weight := 1
+		if hasW {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight %q for class %q", weightStr, name)
+			}
+			weight = w
+		}
+		ca := classAssign{name: name}
+		if name == sched.ClassInteractive.String() && deadline > 0 {
+			ca.deadlineMs = deadline.Milliseconds()
+		}
+		for i := 0; i < weight; i++ {
+			pattern = append(pattern, ca)
+		}
+	}
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("empty class spec %q", spec)
+	}
+	return pattern, nil
+}
+
 // workItem is one pre-generated request with its serial reference result.
 type workItem struct {
-	mix  int
-	body []byte
-	want *mat.Matrix
+	mix   int
+	class string
+	body  []byte
+	want  *mat.Matrix
 }
 
 // outcome is one completed request as observed by the client.
 type outcome struct {
 	mix     int
+	class   string
 	route   string
 	latency float64 // seconds, including queueing and transport
 	gflops  float64 // server-side execution rate
 	retries int     // 429 rounds before admission
+	missed  bool    // 504: deadline exceeded before completion
 	err     error
 }
 
@@ -87,23 +162,37 @@ type MixReport struct {
 	ServerGFlops float64 `json:"server_gflops_mean"`
 }
 
+// ClassReport is the per-workload-class slice of a report: the latency
+// quantiles the scheduler's fairness and EDF policies act on.
+type ClassReport struct {
+	Count          int     `json:"count"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MeanMs         float64 `json:"mean_ms"`
+	DeadlineMisses int     `json:"deadline_misses"`
+}
+
 // Report is the BENCH_server.json document.
 type Report struct {
 	Addr        string `json:"addr"`
 	Concurrency int    `json:"concurrency"`
 	Requests    int    `json:"requests"`
 	Mix         string `json:"mix"`
+	Classes     string `json:"classes,omitempty"`
+	DeadlineMs  int64  `json:"deadline_ms,omitempty"`
 
-	OK            int     `json:"ok"`
-	Errors        int     `json:"errors"`
-	Retries429    int     `json:"retries_429"`
-	WallSeconds   float64 `json:"wall_s"`
-	ThroughputRPS float64 `json:"throughput_rps"`
-	P50Ms         float64 `json:"p50_ms"`
-	P90Ms         float64 `json:"p90_ms"`
-	P99Ms         float64 `json:"p99_ms"`
+	OK             int     `json:"ok"`
+	Errors         int     `json:"errors"`
+	Retries429     int     `json:"retries_429"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	WallSeconds    float64 `json:"wall_s"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
 
-	Mixes []MixReport `json:"mixes"`
+	Mixes      []MixReport            `json:"mixes"`
+	ClassStats map[string]ClassReport `json:"class_stats,omitempty"`
 
 	ServerMetrics *server.MetricsSnapshot `json:"server_metrics,omitempty"`
 }
@@ -116,15 +205,27 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
 	requests := flag.Int("requests", 64, "total requests to issue")
 	mixSpec := flag.String("mix", "32x32x32,96x96x96,192x192x192", "comma-separated MxKxN shapes, cycled")
+	classSpec := flag.String("classes", "", `weighted workload-class mix, e.g. "interactive:3,batch:1", cycled (empty: untagged)`)
+	deadline := flag.Duration("deadline", 0, "deadline_ms placement hint attached to interactive-class requests (0: none)")
 	verify := flag.Bool("verify", true, "check every result against the serial kernel")
 	tol := flag.Float64("tol", 1e-9, "max abs elementwise difference allowed under -verify")
 	out := flag.String("out", "BENCH_server.json", "report path ('-' for stdout)")
 	wait := flag.Duration("wait", 10*time.Second, "max time to wait for the server to report healthy")
 	seed := flag.Uint64("seed", 1, "base seed for generated matrices")
 	maxRetries := flag.Int("max-retries", 100, "429 retry rounds per request before giving up")
+	benchSched := flag.Bool("bench-sched", false, "run the self-contained scheduler benchmark (ignores -addr) and exit")
 	flag.Parse()
 
+	if *benchSched {
+		runBenchSched(*out, *seed)
+		return
+	}
+
 	shapes, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pattern, err := parseClasses(*classSpec, *deadline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,51 +233,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Pre-generate one template per mix entry (shared across repeats): the
-	// request body bytes and the serial-kernel reference result.
-	items := make([]workItem, len(shapes))
-	for i, sh := range shapes {
-		a := mat.Random(sh.m, sh.k, *seed+uint64(3*i))
-		b := mat.Random(sh.k, sh.n, *seed+uint64(3*i)+1)
-		req := server.MultiplyRequest{
-			ID:    fmt.Sprintf("load-%s", sh),
-			ARows: sh.m, ACols: sh.k, A: a.Data,
-			BRows: sh.k, BCols: sh.n, B: b.Data,
-		}
-		body, err := json.Marshal(req)
-		if err != nil {
-			log.Fatal(err)
-		}
-		want := mat.New(sh.m, sh.n)
-		if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
-			log.Fatal(err)
-		}
-		items[i] = workItem{mix: i, body: body, want: want}
+	items := buildItems(shapes, pattern, *seed)
+	pick := func(idx int) workItem {
+		row := items[idx%len(items)]
+		return row[idx%len(row)]
 	}
 
-	jobs := make(chan int)
-	results := make([]outcome, *requests)
-	var wg sync.WaitGroup
-	client := &http.Client{}
-	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				it := items[idx%len(items)]
-				results[idx] = issue(client, *addr, it, *verify, *tol, *maxRetries)
-			}
-		}()
-	}
-	for i := 0; i < *requests; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	wall := time.Since(start).Seconds()
+	results, wall := drive(*addr, pick, *requests, *concurrency, *verify, *tol, *maxRetries)
 
 	rep := buildReport(*addr, *concurrency, *requests, *mixSpec, shapes, results, wall)
+	rep.Classes = *classSpec
+	rep.DeadlineMs = deadline.Milliseconds()
+	if len(pattern) > 0 {
+		rep.ClassStats = classStats(results)
+	}
 	rep.ServerMetrics = fetchMetrics(*addr)
 
 	if rep.Errors > 0 {
@@ -187,11 +257,75 @@ func main() {
 		}
 	}
 	writeReport(rep, *out)
-	fmt.Printf("%d ok, %d errors, %d retry rounds (429), %.2f req/s, p50 %.1f ms, p99 %.1f ms\n",
-		rep.OK, rep.Errors, rep.Retries429, rep.ThroughputRPS, rep.P50Ms, rep.P99Ms)
+	fmt.Printf("%d ok, %d errors, %d deadline misses, %d retry rounds (429), %.2f req/s, p50 %.1f ms, p99 %.1f ms\n",
+		rep.OK, rep.Errors, rep.DeadlineMisses, rep.Retries429, rep.ThroughputRPS, rep.P50Ms, rep.P99Ms)
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// buildItems pre-generates one template per (mix entry, class slot): the
+// request body bytes and the serial-kernel reference result. Bodies are
+// marshaled once so the request loop allocates nothing per request. With
+// no class pattern each row has a single untagged entry.
+func buildItems(shapes []shape, pattern []classAssign, seed uint64) [][]workItem {
+	slots := pattern
+	if len(slots) == 0 {
+		slots = []classAssign{{}}
+	}
+	items := make([][]workItem, len(shapes))
+	for i, sh := range shapes {
+		a := mat.Random(sh.m, sh.k, seed+uint64(3*i))
+		b := mat.Random(sh.k, sh.n, seed+uint64(3*i)+1)
+		want := mat.New(sh.m, sh.n)
+		if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
+			log.Fatal(err)
+		}
+		items[i] = make([]workItem, len(slots))
+		for j, slot := range slots {
+			req := server.MultiplyRequest{
+				ID:    fmt.Sprintf("load-%s", sh),
+				ARows: sh.m, ACols: sh.k, A: a.Data,
+				BRows: sh.k, BCols: sh.n, B: b.Data,
+				Class:          slot.name,
+				DeadlineMillis: slot.deadlineMs,
+			}
+			if slot.name != "" {
+				req.ID = fmt.Sprintf("load-%s-%s", sh, slot.name)
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			items[i][j] = workItem{mix: i, class: slot.name, body: body, want: want}
+		}
+	}
+	return items
+}
+
+// drive issues requests through a worker pool and returns the outcomes
+// plus the wall time of the whole run.
+func drive(addr string, pick func(int) workItem, requests, concurrency int, verify bool, tol float64, maxRetries int) ([]outcome, float64) {
+	jobs := make(chan int)
+	results := make([]outcome, requests)
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = issue(client, addr, pick(idx), verify, tol, maxRetries)
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, time.Since(start).Seconds()
 }
 
 func waitHealthy(addr string, wait time.Duration) error {
@@ -215,9 +349,11 @@ func waitHealthy(addr string, wait time.Duration) error {
 }
 
 // issue posts one request, retrying on 429 backpressure (honoring
-// Retry-After but capping the pause so load tests finish promptly).
+// Retry-After but capping the pause so load tests finish promptly). A 504
+// is a deadline miss — an expected outcome under overload, reported
+// separately from errors.
 func issue(client *http.Client, addr string, it workItem, verify bool, tol float64, maxRetries int) outcome {
-	o := outcome{mix: it.mix}
+	o := outcome{mix: it.mix, class: it.class}
 	start := time.Now()
 	for {
 		resp, err := client.Post(addr+"/v1/multiply", "application/json", bytes.NewReader(it.body))
@@ -238,6 +374,19 @@ func issue(client *http.Client, addr string, it workItem, verify bool, tol float
 			}
 			time.Sleep(pause)
 			continue
+		}
+		if resp.StatusCode == http.StatusGatewayTimeout {
+			resp.Body.Close()
+			o.missed = true
+			return o
+		}
+		if !verify && resp.StatusCode == http.StatusOK {
+			// Latency-only mode: decoding a big result matrix costs real
+			// CPU that would perturb the measurement on small machines.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			o.latency = time.Since(start).Seconds()
+			return o
 		}
 		var mresp server.MultiplyResponse
 		decErr := json.NewDecoder(resp.Body).Decode(&mresp)
@@ -291,6 +440,10 @@ func buildReport(addr string, concurrency, requests int, mixSpec string, shapes 
 	counts := make([]int, len(shapes))
 	for _, r := range results {
 		rep.Retries429 += r.retries
+		if r.missed {
+			rep.DeadlineMisses++
+			continue
+		}
 		if r.err != nil {
 			rep.Errors++
 			continue
@@ -327,6 +480,49 @@ func buildReport(addr string, concurrency, requests int, mixSpec string, shapes 
 	return rep
 }
 
+// classStats aggregates latency quantiles per workload class.
+func classStats(results []outcome) map[string]ClassReport {
+	lat := map[string][]float64{}
+	misses := map[string]int{}
+	for _, r := range results {
+		name := r.class
+		if name == "" {
+			name = sched.ClassInteractive.String()
+		}
+		if r.missed {
+			misses[name]++
+			continue
+		}
+		if r.err == nil {
+			lat[name] = append(lat[name], r.latency)
+		}
+	}
+	out := make(map[string]ClassReport, len(lat))
+	for name, ls := range lat {
+		sort.Float64s(ls)
+		var sum float64
+		for _, v := range ls {
+			sum += v
+		}
+		cr := ClassReport{
+			Count:          len(ls),
+			P50Ms:          percentile(ls, 0.50) * 1e3,
+			P99Ms:          percentile(ls, 0.99) * 1e3,
+			DeadlineMisses: misses[name],
+		}
+		if len(ls) > 0 {
+			cr.MeanMs = sum / float64(len(ls)) * 1e3
+		}
+		out[name] = cr
+	}
+	for name, n := range misses {
+		if _, ok := out[name]; !ok {
+			out[name] = ClassReport{DeadlineMisses: n}
+		}
+	}
+	return out
+}
+
 func fetchMetrics(addr string) *server.MetricsSnapshot {
 	resp, err := http.Get(addr + "/metrics")
 	if err != nil {
@@ -340,11 +536,11 @@ func fetchMetrics(addr string) *server.MetricsSnapshot {
 	return &snap
 }
 
-func writeReport(rep *Report, path string) {
+func writeJSONFile(v any, path string) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		log.Fatal(err)
 	}
 	if path == "-" {
@@ -355,4 +551,496 @@ func writeReport(rep *Report, path string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", path)
+}
+
+func writeReport(rep *Report, path string) { writeJSONFile(rep, path) }
+
+// ---------------------------------------------------------------------------
+// Self-contained scheduler benchmark (-bench-sched): BENCH_sched.json.
+
+const (
+	benchNProcs     = 4
+	benchBatchTasks = 96 // >= 64 queued small GEMMs per arm
+	benchBatchDim   = 64
+	benchBatchMax   = 64
+
+	mixedRequests    = 64
+	mixedConcurrency = 16
+)
+
+// BatchArmReport is one arm of the batch-coalescing benchmark.
+type BatchArmReport struct {
+	BatchMax       int     `json:"batch_max"`
+	WallSeconds    float64 `json:"wall_s"`
+	TasksPerSecond float64 `json:"tasks_per_s"`
+	Dispatches     uint64  `json:"dispatches"`
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	MaxBatch       int64   `json:"max_batch"`
+}
+
+// BatchBenchReport compares batched against per-request dispatch for a
+// backlog of queued small GEMMs on one engine team. Three arms:
+//
+//   - batched: the scheduler coalesces the backlog into team jobs
+//     (BatchMax 64) executed as a locality-ordered task list;
+//   - coalesce_off: the same scheduler with BatchMax 1, isolating the
+//     team wake/barrier amortization alone;
+//   - per_request_engine: the PR 3 dispatch baseline — every GEMM is its
+//     own engine team job (distribute, SRUMMA multiply, gather), FIFO.
+type BatchBenchReport struct {
+	Tasks       int            `json:"tasks"`
+	Shape       string         `json:"shape"`
+	Batched     BatchArmReport `json:"batched"`
+	CoalesceOff BatchArmReport `json:"coalesce_off"`
+	PerRequest  BatchArmReport `json:"per_request_engine"`
+	// SpeedupX is batched throughput over per-request engine dispatch.
+	SpeedupX float64 `json:"speedup_x"`
+	// CoalesceSpeedupX is batched throughput over BatchMax-1 dispatch.
+	CoalesceSpeedupX float64 `json:"coalesce_speedup_x"`
+	BitIdentical     bool    `json:"bit_identical"`
+}
+
+// MixedModeReport is one dispatch mode's view of the mixed-class load.
+type MixedModeReport struct {
+	Mode          string                  `json:"mode"`
+	WallSeconds   float64                 `json:"wall_s"`
+	ThroughputRPS float64                 `json:"throughput_rps"`
+	Classes       map[string]ClassReport  `json:"classes"`
+	ServerMetrics *server.MetricsSnapshot `json:"server_metrics,omitempty"`
+}
+
+// MixedBenchReport compares interactive-class latency under the workload
+// scheduler against the FIFO dispatch path on an identical request
+// stream.
+type MixedBenchReport struct {
+	Requests             int             `json:"requests"`
+	Concurrency          int             `json:"concurrency"`
+	Classes              string          `json:"classes"`
+	InteractiveShape     string          `json:"interactive_shape"`
+	BatchShape           string          `json:"batch_shape"`
+	Fifo                 MixedModeReport `json:"fifo"`
+	Sched                MixedModeReport `json:"sched"`
+	InteractiveP99Gain   float64         `json:"interactive_p99_gain_x"`
+	InteractiveP99Better bool            `json:"interactive_p99_better"`
+}
+
+// SchedBenchReport is the BENCH_sched.json document.
+type SchedBenchReport struct {
+	NProcs int              `json:"nprocs"`
+	Batch  BatchBenchReport `json:"batch"`
+	Mixed  MixedBenchReport `json:"mixed"`
+}
+
+func runBenchSched(out string, seed uint64) {
+	rep := SchedBenchReport{NProcs: benchNProcs}
+	rep.Batch = runBatchBench(seed)
+	rep.Mixed = runMixedBench(seed)
+	writeJSONFile(&rep, out)
+	fmt.Printf("batch: %.0f tasks/s batched vs %.0f tasks/s per-request engine (%.2fx; %.2fx vs coalesce-off; bit-identical %v)\n",
+		rep.Batch.Batched.TasksPerSecond, rep.Batch.PerRequest.TasksPerSecond,
+		rep.Batch.SpeedupX, rep.Batch.CoalesceSpeedupX, rep.Batch.BitIdentical)
+	fmt.Printf("mixed: interactive p99 %.1f ms (sched) vs %.1f ms (fifo), %.2fx\n",
+		rep.Mixed.Sched.Classes["interactive"].P99Ms, rep.Mixed.Fifo.Classes["interactive"].P99Ms,
+		rep.Mixed.InteractiveP99Gain)
+	if !rep.Batch.BitIdentical {
+		log.Fatal("batched results are NOT bit-identical to serial")
+	}
+}
+
+// benchTeam adapts a persistent engine team to sched.Worker for the
+// benchmark's own executor.
+type benchTeam struct{ tm *armci.Team }
+
+func (w *benchTeam) Close() error { return w.tm.Close() }
+
+// benchJob is one small GEMM flowing through the scheduler directly —
+// the engine-agnostic path, no HTTP/JSON in the way.
+type benchJob struct {
+	a, b *mat.Matrix
+	got  *mat.Matrix
+}
+
+// runBatchBench measures batch coalescing: a backlog of benchBatchTasks
+// small GEMMs is parked behind a gate task on a single-team scheduler,
+// released at once, and timed to completion — once with coalescing
+// (BatchMax 64: one team wake serves the whole backlog, ranks pulling
+// tasks off a shared counter) and once with per-request dispatch
+// (BatchMax 1: one wake + barrier per GEMM).
+func runBatchBench(seed uint64) BatchBenchReport {
+	dim := benchBatchDim
+	n := benchBatchTasks
+	as := make([]*mat.Matrix, n)
+	bs := make([]*mat.Matrix, n)
+	wants := make([]*mat.Matrix, n)
+	for i := 0; i < n; i++ {
+		as[i] = mat.Random(dim, dim, seed+uint64(2*i))
+		bs[i] = mat.Random(dim, dim, seed+uint64(2*i)+1)
+		wants[i] = mat.New(dim, dim)
+		if err := mat.Gemm(false, false, 1, as[i], bs[i], 0, wants[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	topo := rt.Topology{NProcs: benchNProcs, ProcsPerNode: benchNProcs, DomainSpansMachine: true}
+	if err := topo.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := BatchBenchReport{
+		Tasks:        n,
+		Shape:        shape{dim, dim, dim}.String(),
+		BitIdentical: true,
+	}
+	for _, arm := range []struct {
+		batchMax int
+		dst      *BatchArmReport
+	}{{benchBatchMax, &rep.Batched}, {1, &rep.CoalesceOff}} {
+		res, got, err := runBatchArm(topo, as, bs, dim, arm.batchMax)
+		if err != nil {
+			log.Fatalf("batch bench (BatchMax %d): %v", arm.batchMax, err)
+		}
+		*arm.dst = res
+		for i := range got {
+			if got[i] == nil || mat.MaxAbsDiff(got[i], wants[i]) != 0 {
+				rep.BitIdentical = false
+			}
+		}
+	}
+	res, got, err := runEngineArm(topo, as, bs, dim)
+	if err != nil {
+		log.Fatalf("batch bench (per-request engine): %v", err)
+	}
+	rep.PerRequest = res
+	for i := range got {
+		if got[i] == nil || mat.MaxAbsDiff(got[i], wants[i]) > 1e-9 {
+			log.Fatalf("per-request engine result %d diverges from serial", i)
+		}
+	}
+	if rep.PerRequest.TasksPerSecond > 0 {
+		rep.SpeedupX = rep.Batched.TasksPerSecond / rep.PerRequest.TasksPerSecond
+	}
+	if rep.CoalesceOff.TasksPerSecond > 0 {
+		rep.CoalesceSpeedupX = rep.Batched.TasksPerSecond / rep.CoalesceOff.TasksPerSecond
+	}
+	return rep
+}
+
+// runEngineArm times the PR 3 baseline: each GEMM dispatched as its own
+// engine team job — distribute the operands into the block layout, run
+// the full SRUMMA multiply, gather the result — serialized FIFO on one
+// team, exactly how the pre-scheduler serving layer drives every
+// engine-routed request.
+func runEngineArm(topo rt.Topology, as, bs []*mat.Matrix, dim int) (BatchArmReport, []*mat.Matrix, error) {
+	var arm BatchArmReport
+	g, err := grid.Square(topo.NProcs)
+	if err != nil {
+		return arm, nil, err
+	}
+	tm, err := armci.NewTeam(topo)
+	if err != nil {
+		return arm, nil, err
+	}
+	defer tm.Close()
+	d := core.Dims{M: dim, N: dim, K: dim}
+	da, db, dc := core.Dists(g, d, core.NN)
+	cd := grid.NewBlockDist(g, d.M, d.N)
+	one := func(a, b *mat.Matrix) (*mat.Matrix, error) {
+		errs := make([]error, topo.NProcs)
+		co := driver.NewCollect(topo.NProcs)
+		_, runErr := tm.Run(func(c rt.Ctx) {
+			ga := driver.AllocBlock(c, da)
+			gb := driver.AllocBlock(c, db)
+			gc := driver.AllocBlock(c, dc)
+			driver.LoadBlock(c, da, ga, a)
+			driver.LoadBlock(c, db, gb, b)
+			errs[c.Rank()] = core.MultiplyEx(c, g, d, core.Options{}, 1, 0, ga, gb, gc)
+			co.Deposit(c, driver.StoreBlock(c, dc, gc))
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return cd.Gather(co.Blocks)
+	}
+	// Warm the engine scratch pools before timing, as a running server
+	// would be.
+	if _, err := one(as[0], bs[0]); err != nil {
+		return arm, nil, err
+	}
+	got := make([]*mat.Matrix, len(as))
+	t0 := time.Now()
+	for i := range as {
+		got[i], err = one(as[i], bs[i])
+		if err != nil {
+			return arm, nil, err
+		}
+	}
+	wall := time.Since(t0).Seconds()
+	arm = BatchArmReport{
+		BatchMax:       1,
+		WallSeconds:    wall,
+		TasksPerSecond: float64(len(as)) / wall,
+		Dispatches:     uint64(len(as)),
+		BatchOccupancy: 1,
+		MaxBatch:       1,
+	}
+	return arm, got, nil
+}
+
+// runBatchArm runs one backlog through a fresh single-team scheduler at
+// the given BatchMax and returns the timing plus every result matrix.
+func runBatchArm(topo rt.Topology, as, bs []*mat.Matrix, dim, batchMax int) (BatchArmReport, []*mat.Matrix, error) {
+	var arm BatchArmReport
+	threads := armci.DefaultKernelThreads(topo.NProcs)
+	exec := func(w sched.Worker, tasks []*sched.Task) sched.Outcome {
+		if gate, ok := tasks[0].Payload.(chan struct{}); ok {
+			<-gate
+			tasks[0].Finish(nil)
+			return sched.Outcome{}
+		}
+		tm := w.(*benchTeam).tm
+		var next atomic.Int64
+		n := len(tasks)
+		_, runErr := tm.Run(func(rt.Ctx) {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t := tasks[i]
+				j := t.Payload.(*benchJob)
+				got := mat.New(j.a.Rows, j.b.Cols)
+				err := mat.GemmParallel(threads, false, false, 1, j.a, j.b, 0, got)
+				j.got = got
+				t.Finish(err)
+			}
+		})
+		if runErr != nil {
+			for _, t := range tasks {
+				if !t.Finished() {
+					t.Finish(runErr)
+				}
+			}
+		}
+		return sched.Outcome{Err: runErr}
+	}
+	sch, err := sched.New(sched.Config{
+		MinWorkers: 1,
+		MaxWorkers: 1,
+		QueueCap:   len(as) + 8,
+		BatchMax:   batchMax,
+		NewWorker: func() (sched.Worker, error) {
+			tm, err := armci.NewTeam(topo)
+			if err != nil {
+				return nil, err
+			}
+			return &benchTeam{tm: tm}, nil
+		},
+		Exec: exec,
+	})
+	if err != nil {
+		return arm, nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sch.Close(ctx)
+	}()
+
+	// Warm the team, scratch pools and kernel before timing, as a running
+	// server would be.
+	warm := make([]*sched.Task, 4)
+	for i := range warm {
+		warm[i] = &sched.Task{
+			Class:     sched.ClassBatch,
+			Batchable: true,
+			Payload:   &benchJob{a: as[0], b: bs[0]},
+		}
+		if err := sch.Submit(warm[i]); err != nil {
+			return arm, nil, err
+		}
+	}
+	for _, t := range warm {
+		<-t.Done()
+	}
+	snap0 := sch.Snapshot()
+	for end := time.Now().Add(time.Second); snap0.DispatchedTasks < uint64(len(warm)) && time.Now().Before(end); {
+		time.Sleep(100 * time.Microsecond)
+		snap0 = sch.Snapshot()
+	}
+
+	// The gate is non-batchable and submitted first, so it is the first
+	// dispatch; the whole backlog queues while the worker blocks on it.
+	gateCh := make(chan struct{})
+	if err := sch.Submit(&sched.Task{Class: sched.ClassInteractive, Payload: gateCh}); err != nil {
+		return arm, nil, err
+	}
+	lk := uint64(dim)<<42 | uint64(dim)<<22 | uint64(dim)<<2
+	tasks := make([]*sched.Task, len(as))
+	jobs := make([]*benchJob, len(as))
+	for i := range as {
+		jobs[i] = &benchJob{a: as[i], b: bs[i]}
+		tasks[i] = &sched.Task{
+			Class:     sched.ClassBatch,
+			Cost:      2 * float64(dim) * float64(dim) * float64(dim),
+			Batchable: true,
+			LocKey:    lk,
+			Payload:   jobs[i],
+		}
+		if err := sch.Submit(tasks[i]); err != nil {
+			return arm, nil, err
+		}
+	}
+
+	t0 := time.Now()
+	close(gateCh)
+	for _, t := range tasks {
+		<-t.Done()
+		if err := t.Err(); err != nil {
+			return arm, nil, err
+		}
+	}
+	wall := time.Since(t0).Seconds()
+
+	// Dispatch counters are bumped after an exec returns, so the final
+	// dispatch may still be settling when the last Done fires; wait for
+	// the ledger to catch up before reading it.
+	snap := sch.Snapshot()
+	for end := time.Now().Add(time.Second); snap.DispatchedTasks < snap0.DispatchedTasks+uint64(len(as))+1 && time.Now().Before(end); {
+		time.Sleep(100 * time.Microsecond)
+		snap = sch.Snapshot()
+	}
+	arm = BatchArmReport{
+		BatchMax:       batchMax,
+		WallSeconds:    wall,
+		TasksPerSecond: float64(len(as)) / wall,
+		// Exclude the warmup round and the gate dispatch from the ledger.
+		Dispatches: snap.Dispatches - snap0.Dispatches - 1,
+		MaxBatch:   snap.MaxBatch,
+	}
+	if arm.Dispatches > 0 {
+		arm.BatchOccupancy = float64(snap.DispatchedTasks-snap0.DispatchedTasks-1) / float64(arm.Dispatches)
+	}
+	got := make([]*mat.Matrix, len(jobs))
+	for i, j := range jobs {
+		got[i] = j.got
+	}
+	return arm, got, nil
+}
+
+// runMixedBench drives an identical interactive/batch request stream
+// through the full HTTP server twice — workload scheduler versus FIFO
+// dispatch — and compares interactive-class p99. Both shapes route to
+// the distributed engine, so the difference is pure queue policy: under
+// FIFO an interactive request waits behind every queued batch job; under
+// the scheduler it is dispatched by class weight and deadline.
+func runMixedBench(seed uint64) MixedBenchReport {
+	// Batch-heavy mix: sparse latency-sensitive queries competing with a
+	// stream of bulk jobs — the workload where FIFO hurts interactive p99
+	// most (each query waits behind every queued bulk job). Both shapes
+	// route to the engine, so the difference is pure queue policy.
+	interactive := shape{192, 192, 192}
+	batch := shape{384, 384, 384}
+	spec := "interactive:1,batch:3"
+	pattern, err := parseClasses(spec, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := MixedBenchReport{
+		Requests:         mixedRequests,
+		Concurrency:      mixedConcurrency,
+		Classes:          spec,
+		InteractiveShape: interactive.String(),
+		BatchShape:       batch.String(),
+	}
+	rep.Fifo = runMixedMode("fifo", interactive, batch, pattern, seed)
+	rep.Sched = runMixedMode("sched", interactive, batch, pattern, seed)
+	if p99 := rep.Sched.Classes["interactive"].P99Ms; p99 > 0 {
+		rep.InteractiveP99Gain = rep.Fifo.Classes["interactive"].P99Ms / p99
+	}
+	rep.InteractiveP99Better = rep.Sched.Classes["interactive"].P99Ms < rep.Fifo.Classes["interactive"].P99Ms
+	return rep
+}
+
+func runMixedMode(mode string, interactive, batch shape, pattern []classAssign, seed uint64) MixedModeReport {
+	s, err := server.New(server.Config{
+		NProcs:         benchNProcs,
+		Teams:          1,
+		QueueCap:       64,
+		SchedMode:      mode,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("mixed bench (%s): %v", mode, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One template per class, shape tied to class: interactive requests
+	// are the small latency-sensitive products, batch requests the heavy
+	// throughput jobs they compete with.
+	byClass := map[string]workItem{}
+	for i, sh := range []shape{interactive, batch} {
+		name := []string{"interactive", "batch"}[i]
+		a := mat.Random(sh.m, sh.k, seed+uint64(10+2*i))
+		b := mat.Random(sh.k, sh.n, seed+uint64(10+2*i)+1)
+		want := mat.New(sh.m, sh.n)
+		if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
+			log.Fatal(err)
+		}
+		var deadlineMs int64
+		for _, slot := range pattern {
+			if slot.name == name {
+				deadlineMs = slot.deadlineMs
+			}
+		}
+		req := server.MultiplyRequest{
+			ID:    fmt.Sprintf("bench-%s", name),
+			ARows: sh.m, ACols: sh.k, A: a.Data,
+			BRows: sh.k, BCols: sh.n, B: b.Data,
+			Class:          name,
+			DeadlineMillis: deadlineMs,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byClass[name] = workItem{mix: i, class: name, body: body, want: want}
+	}
+	pick := func(idx int) workItem {
+		return byClass[pattern[idx%len(pattern)].name]
+	}
+
+	// Latency-only: correctness of both serving paths is covered by the
+	// package tests and the verified batch arms above; decoding 384^3
+	// results in the client would steal CPU from the server under test.
+	results, wall := drive(ts.URL, pick, mixedRequests, mixedConcurrency, false, 1e-9, 1000)
+	for _, r := range results {
+		if r.err != nil {
+			log.Fatalf("mixed bench (%s): %v", mode, r.err)
+		}
+	}
+
+	rep := MixedModeReport{Mode: mode, WallSeconds: wall, Classes: classStats(results)}
+	if wall > 0 {
+		ok := 0
+		for _, r := range results {
+			if r.err == nil && !r.missed {
+				ok++
+			}
+		}
+		rep.ThroughputRPS = float64(ok) / wall
+	}
+	snap := s.Metrics()
+	rep.ServerMetrics = &snap
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatalf("mixed bench (%s) shutdown: %v", mode, err)
+	}
+	return rep
 }

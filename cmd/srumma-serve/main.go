@@ -40,6 +40,11 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	kernelThreads := flag.Int("kernel-threads", 0, "local-dgemm workers per rank (0: engine default)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "max time to drain in-flight work on shutdown")
+	schedMode := flag.String("sched", "sched", `dispatch mode: "sched" (workload scheduler) or "fifo"`)
+	maxTeams := flag.Int("max-teams", 0, "elastic pool ceiling; the pool grows from -teams toward it under backlog (0: fixed pool)")
+	batchMax := flag.Int("batch-max", 0, "max queued small GEMMs coalesced into one team job (0: 32)")
+	starveAfter := flag.Duration("starve-after", 0, "promote any request waiting this long regardless of class weights (0: 2s)")
+	teamIdle := flag.Duration("team-idle", 0, "retire elastic teams idle this long (0: 30s)")
 	flag.Parse()
 
 	s, err := server.New(server.Config{
@@ -51,6 +56,11 @@ func main() {
 		MaxDim:         *maxDim,
 		DefaultTimeout: *timeout,
 		KernelThreads:  *kernelThreads,
+		SchedMode:      *schedMode,
+		MaxTeams:       *maxTeams,
+		BatchMax:       *batchMax,
+		StarveAfter:    *starveAfter,
+		TeamIdleAfter:  *teamIdle,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,8 +70,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s: %d ranks/team, %d team(s), kernel %s, GOMAXPROCS %d",
-		l.Addr(), *nprocs, *teams, mat.KernelName(), goruntime.GOMAXPROCS(0))
+	log.Printf("listening on %s: %d ranks/team, %d team(s), mode %s, kernel %s, GOMAXPROCS %d",
+		l.Addr(), *nprocs, *teams, *schedMode, mat.KernelName(), goruntime.GOMAXPROCS(0))
 	log.Printf("default kernel threads/rank: %d", armci.DefaultKernelThreads(*nprocs))
 
 	serveErr := make(chan error, 1)

@@ -1,0 +1,201 @@
+package core
+
+// The workload scheduler is engine-agnostic: it orders, groups and
+// dispatches opaque payloads. This test drives it straight from the core
+// engine — no HTTP serving layer — mixing full SRUMMA team jobs
+// (non-batchable singletons) with coalesced local-kernel batches, and
+// verifies every result against the naive kernel.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/driver"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/rt"
+	"srumma/internal/sched"
+)
+
+type engineWorker struct{ tm *armci.Team }
+
+func (w *engineWorker) Close() error { return w.tm.Close() }
+
+// srummaDriveJob is one full engine multiply: distribute, run, gather.
+type srummaDriveJob struct {
+	d            Dims
+	seedA, seedB uint64
+	got          *mat.Matrix
+}
+
+// gemmDriveJob is one small product executed on the local kernel inside
+// a coalesced batch.
+type gemmDriveJob struct {
+	a, b *mat.Matrix
+	got  *mat.Matrix
+}
+
+func TestSchedulerDrivesEngine(t *testing.T) {
+	topo := rt.Topology{NProcs: 4, ProcsPerNode: 4, DomainSpansMachine: true}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.Square(topo.NProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := func(w sched.Worker, tasks []*sched.Task) sched.Outcome {
+		tm := w.(*engineWorker).tm
+		if !tasks[0].Batchable {
+			job := tasks[0].Payload.(*srummaDriveJob)
+			da, db, dc := Dists(g, job.d, NN)
+			a := mat.Random(da.Rows, da.Cols, job.seedA)
+			b := mat.Random(db.Rows, db.Cols, job.seedB)
+			co := driver.NewCollect(topo.NProcs)
+			_, runErr := tm.Run(func(c rt.Ctx) {
+				ga := driver.AllocBlock(c, da)
+				gb := driver.AllocBlock(c, db)
+				gc := driver.AllocBlock(c, dc)
+				driver.LoadBlock(c, da, ga, a)
+				driver.LoadBlock(c, db, gb, b)
+				if err := Multiply(c, g, job.d, Options{}, ga, gb, gc); err != nil {
+					panic(err)
+				}
+				co.Deposit(c, driver.StoreBlock(c, dc, gc))
+			})
+			if runErr == nil {
+				job.got, runErr = dc.Gather(co.Blocks)
+			}
+			tasks[0].Finish(runErr)
+			return sched.Outcome{Err: runErr}
+		}
+		// Coalesced batch: ranks pull small products off a shared counter.
+		var next atomic.Int64
+		n := len(tasks)
+		_, runErr := tm.Run(func(rt.Ctx) {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job := tasks[i].Payload.(*gemmDriveJob)
+				got := mat.New(job.a.Rows, job.b.Cols)
+				err := mat.GemmParallel(1, false, false, 1, job.a, job.b, 0, got)
+				job.got = got
+				tasks[i].Finish(err)
+			}
+		})
+		if runErr != nil {
+			for _, tk := range tasks {
+				if !tk.Finished() {
+					tk.Finish(runErr)
+				}
+			}
+		}
+		return sched.Outcome{Err: runErr}
+	}
+
+	sch, err := sched.New(sched.Config{
+		MinWorkers: 1,
+		MaxWorkers: 2,
+		QueueCap:   64,
+		BatchMax:   8,
+		NewWorker: func() (sched.Worker, error) {
+			tm, err := armci.NewTeam(topo)
+			if err != nil {
+				return nil, err
+			}
+			return &engineWorker{tm: tm}, nil
+		},
+		Exec: exec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sch.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	// A mix of full engine multiplies and batchable small products.
+	var tasks []*sched.Task
+	var srumma []*srummaDriveJob
+	for i := 0; i < 3; i++ {
+		job := &srummaDriveJob{
+			d:     Dims{M: 48, N: 48, K: 48},
+			seedA: uint64(100 + 2*i),
+			seedB: uint64(101 + 2*i),
+		}
+		srumma = append(srumma, job)
+		tasks = append(tasks, &sched.Task{
+			Class:    sched.ClassBatch,
+			Cost:     2 * 48 * 48 * 48,
+			Deadline: time.Now().Add(time.Minute),
+			Payload:  job,
+		})
+	}
+	var gemms []*gemmDriveJob
+	for i := 0; i < 12; i++ {
+		job := &gemmDriveJob{
+			a: mat.Random(24, 24, uint64(200+2*i)),
+			b: mat.Random(24, 24, uint64(201+2*i)),
+		}
+		gemms = append(gemms, job)
+		tasks = append(tasks, &sched.Task{
+			Class:     sched.ClassInteractive,
+			Cost:      2 * 24 * 24 * 24,
+			Batchable: true,
+			LocKey:    24,
+			Payload:   job,
+		})
+	}
+	for _, tk := range tasks {
+		if err := sch.Submit(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range tasks {
+		select {
+		case <-tk.Done():
+			if err := tk.Err(); err != nil {
+				t.Fatalf("task failed: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("task did not finish")
+		}
+	}
+
+	for i, job := range srumma {
+		want := reference(t, job.d, NN, job.seedA, job.seedB)
+		if diff := mat.MaxAbsDiff(job.got, want); diff > 1e-10*float64(job.d.K) {
+			t.Errorf("srumma job %d: max diff %g", i, diff)
+		}
+	}
+	for i, job := range gemms {
+		want := mat.New(job.a.Rows, job.b.Cols)
+		if err := mat.GemmNaive(false, false, 1, job.a, job.b, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if diff := mat.MaxAbsDiff(job.got, want); diff > 1e-10*24 {
+			t.Errorf("gemm job %d: max diff %g", i, diff)
+		}
+	}
+
+	snap := sch.Snapshot()
+	if snap.Completed != uint64(len(tasks)) {
+		t.Errorf("completed %d, want %d", snap.Completed, len(tasks))
+	}
+	if snap.MaxBatch < 2 {
+		t.Errorf("max batch %d: small products were never coalesced", snap.MaxBatch)
+	}
+	if snap.Failed != 0 || snap.Cancelled != 0 {
+		t.Errorf("failed %d cancelled %d, want 0", snap.Failed, snap.Cancelled)
+	}
+}

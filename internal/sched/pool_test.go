@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollWorkers waits until the pool reaches want workers or times out.
+func pollWorkers(t *testing.T, s *Scheduler, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Workers() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("pool stuck at %d workers, want %d", s.Workers(), want)
+}
+
+// TestPoolGrowsUnderBacklog: queue depth beyond GrowAt*workers grows the
+// pool, and the pool NEVER exceeds MaxWorkers even under a deep backlog.
+func TestPoolGrowsUnderBacklog(t *testing.T) {
+	var peak atomic.Int64
+	block := make(chan struct{})
+	exec := func(w Worker, tasks []*Task) Outcome {
+		<-block
+		for _, tk := range tasks {
+			tk.Finish(nil)
+		}
+		return Outcome{}
+	}
+	h := newHarness(t, Config{
+		MinWorkers: 1, MaxWorkers: 3, GrowAt: 1, QueueCap: 64,
+	}, exec)
+	track := func() {
+		if n := int64(h.s.Workers()); n > peak.Load() {
+			peak.Store(n)
+		}
+	}
+	tasks := make([]*Task, 32)
+	for i := range tasks {
+		tasks[i] = &Task{}
+		mustSubmit(t, h.s, tasks[i])
+		track()
+	}
+	pollWorkers(t, h.s, 3)
+	for i := 0; i < 50; i++ {
+		track()
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	waitDone(t, tasks...)
+	if peak.Load() > 3 {
+		t.Fatalf("pool exceeded MaxWorkers: peak %d", peak.Load())
+	}
+	if snap := h.s.Snapshot(); snap.PoolGrown == 0 {
+		t.Fatalf("PoolGrown not counted: %+v", snap)
+	}
+}
+
+// TestPoolShrinksWhenIdle: after the backlog drains, idle workers above
+// MinWorkers retire, and the pool never drops below MinWorkers.
+func TestPoolShrinksWhenIdle(t *testing.T) {
+	exec := func(w Worker, tasks []*Task) Outcome {
+		time.Sleep(50 * time.Microsecond) // slow enough that a backlog forms
+		for _, tk := range tasks {
+			tk.Finish(nil)
+		}
+		return Outcome{}
+	}
+	h := newHarness(t, Config{
+		MinWorkers: 1, MaxWorkers: 4, GrowAt: 1, QueueCap: 64,
+		IdleAfter: 10 * time.Millisecond,
+	}, exec)
+	// Drive enough work to grow the pool.
+	for round := 0; round < 4; round++ {
+		tasks := make([]*Task, 32)
+		for i := range tasks {
+			tasks[i] = &Task{}
+			mustSubmit(t, h.s, tasks[i])
+		}
+		waitDone(t, tasks...)
+	}
+	pollWorkers(t, h.s, 1)
+	// Stays at the floor: never observed below MinWorkers.
+	for i := 0; i < 30; i++ {
+		if n := h.s.Workers(); n < 1 {
+			t.Fatalf("pool dropped below MinWorkers: %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := h.s.Snapshot()
+	if snap.PoolShrunk == 0 {
+		t.Fatalf("PoolShrunk not counted: %+v", snap)
+	}
+	// A shrunk pool still serves new work.
+	tk := &Task{}
+	mustSubmit(t, h.s, tk)
+	waitDone(t, tk)
+}
+
+// TestPoolFixedByDefault: with MaxWorkers unset the pool is pinned at
+// MinWorkers — elasticity is opt-in.
+func TestPoolFixedByDefault(t *testing.T) {
+	h := newHarness(t, Config{MinWorkers: 2, QueueCap: 64}, gateExec)
+	tasks := make([]*Task, 16)
+	for i := range tasks {
+		tasks[i] = &Task{}
+		mustSubmit(t, h.s, tasks[i])
+	}
+	if n := h.s.Workers(); n != 2 {
+		t.Fatalf("fixed pool at %d workers, want 2", n)
+	}
+	waitDone(t, tasks...)
+}
+
+// TestPoolReplacesPoisonedWorker: ReplaceWorker closes the old engine and
+// installs a fresh one; the batch's unfinished tasks complete on it.
+func TestPoolReplacesPoisonedWorker(t *testing.T) {
+	var poisoned atomic.Bool
+	poisoned.Store(true)
+	exec := func(w Worker, tasks []*Task) Outcome {
+		if g, ok := tasks[0].Payload.(*gate); ok {
+			close(g.entered)
+			<-g.release
+			tasks[0].Finish(nil)
+			return Outcome{}
+		}
+		if len(tasks) > 1 && poisoned.CompareAndSwap(true, false) {
+			tasks[0].Finish(nil)
+			return Outcome{
+				Unfinished:    tasks[1:],
+				ReplaceWorker: true,
+				Err:           errors.New("team leaked ranks"),
+			}
+		}
+		for _, tk := range tasks {
+			tk.Finish(nil)
+		}
+		return Outcome{}
+	}
+	h := newHarness(t, Config{MinWorkers: 1, MaxWorkers: 1, QueueCap: 32, BatchMax: 8}, exec)
+	g := h.submitGate()
+	tasks := make([]*Task, 5)
+	for i := range tasks {
+		tasks[i] = &Task{Batchable: true, Payload: i}
+		mustSubmit(t, h.s, tasks[i])
+	}
+	close(g.release)
+	waitDone(t, tasks...)
+	for i, tk := range tasks {
+		if err := tk.Err(); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	snap := h.s.Snapshot()
+	if snap.PoolReplaced != 1 {
+		t.Fatalf("PoolReplaced = %d, want 1", snap.PoolReplaced)
+	}
+	if snap.Requeued == 0 {
+		t.Fatalf("unfinished tasks not requeued after crash")
+	}
+	if made := h.workersMade(); made != 2 {
+		t.Fatalf("workers created = %d, want 2 (original + replacement)", made)
+	}
+	if h.s.Workers() != 1 {
+		t.Fatalf("pool size %d after replacement, want 1", h.s.Workers())
+	}
+}
+
+// TestPoolRepairsAfterFactoryFailure: when a replacement factory call
+// fails, the pool shrinks, and the next Submit repairs it to MinWorkers.
+func TestPoolRepairsAfterFactoryFailure(t *testing.T) {
+	var factoryCalls atomic.Int64
+	var factoryFail atomic.Bool
+	var poisonOnce atomic.Bool
+	poisonOnce.Store(true)
+	exec := func(w Worker, tasks []*Task) Outcome {
+		if poisonOnce.CompareAndSwap(true, false) {
+			for _, tk := range tasks {
+				tk.Finish(nil)
+			}
+			return Outcome{ReplaceWorker: true, Err: errors.New("poisoned")}
+		}
+		for _, tk := range tasks {
+			tk.Finish(nil)
+		}
+		return Outcome{}
+	}
+	cfg := Config{MinWorkers: 1, MaxWorkers: 1, QueueCap: 8}
+	cfg.Exec = exec
+	cfg.NewWorker = func() (Worker, error) {
+		if factoryFail.Load() {
+			return nil, errors.New("factory down")
+		}
+		factoryCalls.Add(1)
+		return &fakeWorker{}, nil
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+
+	// Poison the worker while the factory is down: the pool drops to 0.
+	factoryFail.Store(true)
+	tk := &Task{}
+	mustSubmit(t, s, tk)
+	waitDone(t, tk)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Workers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.Workers(); n != 0 {
+		t.Fatalf("pool at %d after failed replacement, want 0", n)
+	}
+
+	// Factory recovers: the next Submit repairs the pool and the task runs.
+	factoryFail.Store(false)
+	tk2 := &Task{}
+	mustSubmit(t, s, tk2)
+	waitDone(t, tk2)
+	if s.Workers() != 1 {
+		t.Fatalf("pool not repaired: %d workers", s.Workers())
+	}
+	if snap := s.Snapshot(); snap.PoolGrowFailed == 0 {
+		t.Fatalf("PoolGrowFailed not counted")
+	}
+}
+
+// TestPoolNewFailsCleanly: a factory error during New closes the workers
+// already created and reports the error.
+func TestPoolNewFailsCleanly(t *testing.T) {
+	var made []*fakeWorker
+	calls := 0
+	cfg := Config{
+		MinWorkers: 3,
+		NewWorker: func() (Worker, error) {
+			calls++
+			if calls == 3 {
+				return nil, errors.New("third worker broken")
+			}
+			w := &fakeWorker{id: calls}
+			made = append(made, w)
+			return w, nil
+		},
+		Exec: func(w Worker, tasks []*Task) Outcome { return Outcome{} },
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("New succeeded with a broken factory")
+	}
+	for i, w := range made {
+		if !w.closed.Load() {
+			t.Fatalf("worker %d not closed after failed New", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		err  bool
+	}{
+		{"", ClassInteractive, false},
+		{"interactive", ClassInteractive, false},
+		{"batch", ClassBatch, false},
+		{"bulk", 0, true},
+		{"INTERACTIVE", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if c.err != (err != nil) {
+			t.Fatalf("ParseClass(%q): err=%v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseClass(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if ClassInteractive.String() != "interactive" || ClassBatch.String() != "batch" {
+		t.Fatalf("Class.String mismatch: %q %q", ClassInteractive, ClassBatch)
+	}
+}
+
+// TestQueueEDFOrder: within a class, pops come earliest-deadline-first,
+// deadline-less tasks last, all ties FIFO.
+func TestQueueEDFOrder(t *testing.T) {
+	var q runQueue
+	base := time.Now()
+	mk := func(id int, dl time.Time) *Task {
+		return &Task{Deadline: dl, Payload: id}
+	}
+	// Push out of order: no-deadline, late, early, duplicate-early, no-deadline.
+	q.push(mk(0, time.Time{}), base)
+	q.push(mk(1, base.Add(300*time.Millisecond)), base)
+	q.push(mk(2, base.Add(100*time.Millisecond)), base)
+	q.push(mk(3, base.Add(100*time.Millisecond)), base)
+	q.push(mk(4, time.Time{}), base)
+
+	want := []int{2, 3, 1, 0, 4}
+	for i, w := range want {
+		got := q.popHead(ClassInteractive).Payload.(int)
+		if got != w {
+			t.Fatalf("pop %d: got task %d, want %d", i, got, w)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.len())
+	}
+}
+
+// TestQueueFIFOWithoutDeadlines: with no deadlines at all the heap degrades
+// to plain FIFO.
+func TestQueueFIFOWithoutDeadlines(t *testing.T) {
+	var q runQueue
+	base := time.Now()
+	for i := 0; i < 16; i++ {
+		q.push(&Task{Payload: i}, base)
+	}
+	for i := 0; i < 16; i++ {
+		if got := q.popHead(ClassInteractive).Payload.(int); got != i {
+			t.Fatalf("pop %d: got %d, want FIFO order", i, got)
+		}
+	}
+}
+
+// TestQueueClassesIndependent: each class has its own heap and length.
+func TestQueueClassesIndependent(t *testing.T) {
+	var q runQueue
+	base := time.Now()
+	q.push(&Task{Class: ClassBatch, Payload: "b"}, base)
+	q.push(&Task{Class: ClassInteractive, Payload: "i"}, base)
+	if q.len() != 2 {
+		t.Fatalf("len = %d, want 2", q.len())
+	}
+	if got := q.popHead(ClassBatch).Payload; got != "b" {
+		t.Fatalf("batch head = %v", got)
+	}
+	if got := q.popHead(ClassInteractive).Payload; got != "i" {
+		t.Fatalf("interactive head = %v", got)
+	}
+}
+
+// TestQueueVtimeFloor: a class waking from empty is pulled up to the
+// smallest active virtual time, so idle classes cannot bank credit.
+func TestQueueVtimeFloor(t *testing.T) {
+	var q runQueue
+	base := time.Now()
+	q.vtime[ClassInteractive] = 10
+	q.push(&Task{Class: ClassInteractive}, base) // interactive active at vtime 10
+	q.push(&Task{Class: ClassBatch}, base)       // batch wakes: floored to 10
+	if got := q.vtime[ClassBatch]; got != 10 {
+		t.Fatalf("batch vtime = %v, want floored to 10", got)
+	}
+	// A class that is already ahead is not pulled backwards.
+	q.popHead(ClassBatch)
+	q.vtime[ClassBatch] = 50
+	q.push(&Task{Class: ClassBatch}, base)
+	if got := q.vtime[ClassBatch]; got != 50 {
+		t.Fatalf("batch vtime = %v, want unchanged 50", got)
+	}
+}
+
+// TestQueueIndexMaintenance: heap indices track positions through pushes,
+// pops and swaps (required for future in-place removal correctness).
+func TestQueueIndexMaintenance(t *testing.T) {
+	var q runQueue
+	base := time.Now()
+	tasks := make([]*Task, 0, 20)
+	for i := 0; i < 20; i++ {
+		var dl time.Time
+		if i%3 != 0 {
+			dl = base.Add(time.Duration((i*7)%13) * time.Millisecond)
+		}
+		tk := &Task{Deadline: dl}
+		tasks = append(tasks, tk)
+		q.push(tk, base)
+	}
+	h := q.heaps[ClassInteractive]
+	for i, tk := range h {
+		if tk.index != i {
+			t.Fatalf("heap[%d].index = %d", i, tk.index)
+		}
+	}
+	for q.len() > 0 {
+		popped := q.popHead(ClassInteractive)
+		if popped.index != -1 {
+			t.Fatalf("popped task keeps index %d", popped.index)
+		}
+		for i, tk := range q.heaps[ClassInteractive] {
+			if tk.index != i {
+				t.Fatalf("after pop: heap[%d].index = %d", i, tk.index)
+			}
+		}
+	}
+	_ = tasks
+}

@@ -1,0 +1,585 @@
+// Package sched is the workload scheduler between request admission and
+// the engine pool: it decides WHAT runs next and on HOW MANY engines,
+// while staying agnostic about what an engine is (Worker) and how work
+// executes on it (Config.Exec). Three policies compose:
+//
+//   - batched execution: queued batchable tasks of one class are coalesced
+//     into a single dispatch, sorted by locality key, so the executor can
+//     amortize per-dispatch overhead (engine wake, barriers) across many
+//     small tasks;
+//   - priority + deadline dispatch: per-class index-heap run queues with
+//     EDF order within a class, weighted fair queueing across classes, and
+//     starvation aging (a head task waiting past StarveAfter is served
+//     regardless of weights);
+//   - elastic pooling: the worker pool grows toward MaxWorkers when the
+//     queue backs up, shrinks toward MinWorkers when workers sit idle, and
+//     replaces workers the executor reports as poisoned. A dispatch that
+//     dies mid-batch returns its unfinished tasks, which are requeued up
+//     to MaxAttempts.
+//
+// The scheduler guarantees every accepted task is finished exactly once:
+// by its executor, by queue-drop (cancelled before dispatch), by retry
+// exhaustion, or by Close.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrQueueFull is returned by Submit when QueueCap tasks are already
+	// admitted (queued + executing): backpressure, not buffering.
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrClosed is returned by Submit after Close, and attached to tasks
+	// flushed by an interrupted drain.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrCancelled finishes tasks whose Cancel channel fired before
+	// dispatch.
+	ErrCancelled = errors.New("sched: task cancelled before dispatch")
+	// ErrRetriesExhausted finishes tasks requeued MaxAttempts times by
+	// failing dispatches.
+	ErrRetriesExhausted = errors.New("sched: dispatch retries exhausted")
+)
+
+// Worker is one engine owned by the pool — for the GEMM service a
+// persistent armci.Team, in tests anything. The scheduler only creates
+// (Config.NewWorker), hands to Exec, and closes them.
+type Worker interface {
+	Close() error
+}
+
+// Outcome reports one dispatch back to the scheduler. The zero value means
+// "all tasks finished, worker healthy".
+type Outcome struct {
+	// Unfinished are the batch's tasks the executor did not Finish (a crash
+	// mid-batch): the scheduler requeues them, dropping any that exceed
+	// MaxAttempts with ErrRetriesExhausted.
+	Unfinished []*Task
+	// ReplaceWorker marks the worker poisoned (e.g. leaked ranks): the
+	// scheduler closes it and creates a fresh one in its place.
+	ReplaceWorker bool
+	// Err is the dispatch failure cause, attached to tasks dropped for
+	// retry exhaustion.
+	Err error
+}
+
+// Config sizes the scheduler. NewWorker and Exec are required; everything
+// else has serviceable defaults from fill().
+type Config struct {
+	// MinWorkers..MaxWorkers bound the elastic pool (defaults 1..MinWorkers,
+	// i.e. a fixed pool unless MaxWorkers is raised).
+	MinWorkers int
+	MaxWorkers int
+	// QueueCap bounds admitted tasks — queued plus executing (default
+	// 4*MaxWorkers).
+	QueueCap int
+	// BatchMax caps tasks coalesced into one dispatch (default 32).
+	BatchMax int
+	// Weights are the per-class fair shares (default interactive 4,
+	// batch 1).
+	Weights [NumClasses]float64
+	// StarveAfter bounds cross-class starvation: a class head waiting this
+	// long is dispatched regardless of weights (default 2s; <0 disables).
+	StarveAfter time.Duration
+	// IdleAfter is how long a worker above MinWorkers may sit idle before
+	// the pool shrinks it away (default 30s).
+	IdleAfter time.Duration
+	// GrowAt is the queue depth per worker that triggers pool growth
+	// (default 2: grow when queued > 2*workers).
+	GrowAt int
+	// MaxAttempts bounds dispatches per task before it is failed with
+	// ErrRetriesExhausted (default 3).
+	MaxAttempts int
+	// NewWorker creates a pool worker (required).
+	NewWorker func() (Worker, error)
+	// Exec runs one dispatch — a locality-sorted batch of one class, or a
+	// single non-batchable task — on a worker (required). It must Finish
+	// every task it completes and return the rest in Outcome.Unfinished.
+	Exec func(w Worker, tasks []*Task) Outcome
+	// Now is the clock used for deadlines and aging (default time.Now;
+	// injectable for tests).
+	Now func() time.Time
+}
+
+func (c Config) fill() Config {
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxWorkers
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.Weights[ClassInteractive] <= 0 {
+		c.Weights[ClassInteractive] = 4
+	}
+	if c.Weights[ClassBatch] <= 0 {
+		c.Weights[ClassBatch] = 1
+	}
+	if c.StarveAfter == 0 {
+		c.StarveAfter = 2 * time.Second
+	}
+	if c.IdleAfter <= 0 {
+		c.IdleAfter = 30 * time.Second
+	}
+	if c.GrowAt <= 0 {
+		c.GrowAt = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Scheduler owns the run queue and the elastic worker pool. Create with
+// New, feed with Submit, stop with Close.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	q        runQueue
+	workers  int
+	draining bool
+	stopped  bool
+	closeErr error
+
+	ready chan struct{} // work-available wakeups (best effort, never lost)
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	inflight atomic.Int64 // admitted and not yet finished
+
+	submitted       atomic.Uint64
+	rejected        atomic.Uint64
+	completed       atomic.Uint64
+	failed          atomic.Uint64
+	cancelled       atomic.Uint64
+	dispatches      atomic.Uint64
+	dispatchedTasks atomic.Uint64
+	maxBatch        atomic.Int64
+	requeued        atomic.Uint64
+	retriesDropped  atomic.Uint64
+	expired         atomic.Uint64
+	misses          atomic.Uint64
+	starved         atomic.Uint64
+	grown           atomic.Uint64
+	shrunk          atomic.Uint64
+	replaced        atomic.Uint64
+	growFailed      atomic.Uint64
+	served          [NumClasses]atomic.Uint64
+}
+
+// New builds a scheduler and spins up MinWorkers workers synchronously (a
+// factory failure fails New).
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.NewWorker == nil || cfg.Exec == nil {
+		return nil, errors.New("sched: Config.NewWorker and Config.Exec are required")
+	}
+	cfg = cfg.fill()
+	s := &Scheduler{
+		cfg:   cfg,
+		ready: make(chan struct{}, cfg.QueueCap),
+		stop:  make(chan struct{}),
+	}
+	initial := make([]Worker, 0, cfg.MinWorkers)
+	for i := 0; i < cfg.MinWorkers; i++ {
+		w, err := cfg.NewWorker()
+		if err != nil {
+			for _, prev := range initial {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("sched: starting worker %d: %w", i, err)
+		}
+		initial = append(initial, w)
+	}
+	s.workers = len(initial)
+	for _, w := range initial {
+		s.wg.Add(1)
+		go s.runWorker(w)
+	}
+	return s, nil
+}
+
+// Workers returns the current pool size.
+func (s *Scheduler) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// Queued returns the number of admitted tasks waiting for dispatch.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.len()
+}
+
+func (s *Scheduler) now() time.Time { return s.cfg.Now() }
+
+// Submit admits t or refuses with ErrQueueFull/ErrClosed. On admission the
+// task WILL be finished eventually; wait on t.Done().
+func (s *Scheduler) Submit(t *Task) error {
+	if t.Class >= NumClasses {
+		return fmt.Errorf("sched: invalid class %d", t.Class)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if int(s.inflight.Load()) >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+	s.inflight.Add(1)
+	t.s = s
+	t.done = make(chan struct{})
+	s.q.push(t, s.now())
+	s.resizeLocked()
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	s.wake()
+	return nil
+}
+
+// wake nudges one worker. The channel is sized to QueueCap, so a full
+// channel already holds at least as many wakeups as there can be queued
+// tasks — dropping the send cannot strand work.
+func (s *Scheduler) wake() {
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
+}
+
+// resizeLocked grows the pool toward the queue-depth target and repairs it
+// back up to MinWorkers after factory failures.
+func (s *Scheduler) resizeLocked() {
+	for s.workers < s.cfg.MinWorkers {
+		s.spawnLocked()
+	}
+	if queued := s.q.len(); s.workers < s.cfg.MaxWorkers && queued > s.cfg.GrowAt*s.workers {
+		s.grown.Add(1)
+		s.spawnLocked()
+	}
+}
+
+func (s *Scheduler) spawnLocked() {
+	s.workers++
+	s.wg.Add(1)
+	go s.runWorker(nil)
+}
+
+// taskFinished is the single accounting point for settled tasks. It may
+// run with or without s.mu held (queue drops hold it), so it touches only
+// atomics.
+func (s *Scheduler) taskFinished(t *Task, err error) {
+	s.inflight.Add(-1)
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		if !t.Deadline.IsZero() && s.now().After(t.Deadline) {
+			s.misses.Add(1)
+		}
+	case errors.Is(err, ErrCancelled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	s.served[t.Class].Add(1)
+}
+
+// pickClassLocked chooses the class to dispatch from: a starving head
+// overrides the weighted-fair choice (oldest starving head wins); ties on
+// virtual time go to the lower class index (interactive).
+func (s *Scheduler) pickClassLocked(now time.Time) (Class, bool) {
+	aged, fair := -1, -1
+	var oldest time.Time
+	for c := 0; c < NumClasses; c++ {
+		h := s.q.heaps[c]
+		if len(h) == 0 {
+			continue
+		}
+		head := h[0]
+		if s.cfg.StarveAfter > 0 && now.Sub(head.enq) >= s.cfg.StarveAfter {
+			if aged < 0 || head.enq.Before(oldest) {
+				aged = c
+				oldest = head.enq
+			}
+		}
+		if fair < 0 || s.q.vtime[c] < s.q.vtime[fair] {
+			fair = c
+		}
+	}
+	if aged >= 0 {
+		if aged != fair {
+			s.starved.Add(1)
+		}
+		return Class(aged), true
+	}
+	if fair >= 0 {
+		return Class(fair), true
+	}
+	return 0, false
+}
+
+// popBatch assembles the next dispatch into buf: the picked class's EDF
+// head, extended with up to BatchMax-1 further batchable heads of the same
+// class, sorted by locality key. Cancelled tasks surfacing at the head are
+// dropped on the spot. An empty result means no dispatchable work.
+func (s *Scheduler) popBatch(buf []*Task) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	c, ok := s.pickClassLocked(now)
+	if !ok {
+		return buf
+	}
+	h := &s.q.heaps[c]
+	var cost float64
+	for len(*h) > 0 {
+		head := (*h)[0]
+		if head.Cancelled() {
+			s.q.popHead(c)
+			s.expired.Add(1)
+			head.Finish(ErrCancelled)
+			continue
+		}
+		if len(buf) > 0 && (!head.Batchable || len(buf) >= s.cfg.BatchMax) {
+			break
+		}
+		s.q.popHead(c)
+		head.attempts.Add(1)
+		buf = append(buf, head)
+		if head.Cost > 1 {
+			cost += head.Cost
+		} else {
+			cost++
+		}
+		if !head.Batchable {
+			break
+		}
+	}
+	if len(buf) == 0 {
+		return buf
+	}
+	s.q.vtime[c] += cost / s.cfg.Weights[c]
+	if len(buf) > 1 {
+		sort.Slice(buf, func(i, j int) bool {
+			if buf[i].LocKey != buf[j].LocKey {
+				return buf[i].LocKey < buf[j].LocKey
+			}
+			return buf[i].seq < buf[j].seq
+		})
+	}
+	return buf
+}
+
+// runWorker is one pool worker: create the engine if needed, then loop
+// pop → exec → requeue/replace until shut down or shrunk away.
+func (s *Scheduler) runWorker(w Worker) {
+	defer s.wg.Done()
+	if w == nil {
+		var err error
+		w, err = s.cfg.NewWorker()
+		if err != nil {
+			s.growFailed.Add(1)
+			s.mu.Lock()
+			s.workers--
+			s.mu.Unlock()
+			return
+		}
+	}
+	defer func() {
+		if w == nil {
+			return
+		}
+		if err := w.Close(); err != nil {
+			s.mu.Lock()
+			if s.closeErr == nil {
+				s.closeErr = err
+			}
+			s.mu.Unlock()
+		}
+	}()
+	batch := make([]*Task, 0, s.cfg.BatchMax)
+	idle := time.NewTimer(s.cfg.IdleAfter)
+	defer idle.Stop()
+	for {
+		batch = s.popBatch(batch[:0])
+		if len(batch) == 0 {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(s.cfg.IdleAfter)
+			select {
+			case <-s.stop:
+				return
+			case <-s.ready:
+				continue
+			case <-idle.C:
+				if s.tryShrink() {
+					return
+				}
+				continue
+			}
+		}
+		out := s.cfg.Exec(w, batch)
+		s.dispatches.Add(1)
+		s.dispatchedTasks.Add(uint64(len(batch)))
+		for n := int64(len(batch)); ; {
+			cur := s.maxBatch.Load()
+			if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+		s.settle(out)
+		if out.ReplaceWorker {
+			w.Close()
+			w = nil
+			s.replaced.Add(1)
+			nw, err := s.cfg.NewWorker()
+			if err != nil {
+				// Could not replace: shrink rather than pool a corpse; the
+				// next Submit repairs the pool back up to MinWorkers.
+				s.growFailed.Add(1)
+				s.mu.Lock()
+				s.workers--
+				s.mu.Unlock()
+				return
+			}
+			w = nw
+		}
+	}
+}
+
+// settle requeues a failed dispatch's unfinished tasks, dropping those out
+// of attempts.
+func (s *Scheduler) settle(out Outcome) {
+	for _, t := range out.Unfinished {
+		if t == nil || t.Finished() {
+			continue
+		}
+		if int(t.attempts.Load()) >= s.cfg.MaxAttempts {
+			cause := out.Err
+			if cause == nil {
+				cause = errors.New("dispatch failed")
+			}
+			s.retriesDropped.Add(1)
+			t.Finish(fmt.Errorf("%w (%d attempts): %v", ErrRetriesExhausted, t.Attempts(), cause))
+			continue
+		}
+		s.mu.Lock()
+		s.q.push(t, t.enq) // keep the original admission time: aging still sees it
+		s.mu.Unlock()
+		s.requeued.Add(1)
+		s.wake()
+	}
+}
+
+// tryShrink retires this worker if the pool is above MinWorkers and there
+// is genuinely nothing to do.
+func (s *Scheduler) tryShrink() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.workers <= s.cfg.MinWorkers || s.q.len() > 0 {
+		return false
+	}
+	s.workers--
+	s.shrunk.Add(1)
+	return true
+}
+
+// Close drains and stops the scheduler: Submit starts refusing, admitted
+// tasks run to completion (bounded by ctx — on expiry the queue is flushed
+// with ErrClosed and the drain reports interruption), then the workers
+// stop and their engines close. The first worker-close error (e.g. a
+// leaked-rank report) is returned. Close is idempotent.
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		done := s.stopped
+		err := s.closeErr
+		s.mu.Unlock()
+		if !done {
+			return errors.New("sched: Close already in progress")
+		}
+		return err
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	drainErr := error(nil)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.flush(ErrClosed)
+			drainErr = fmt.Errorf("sched: drain interrupted: %w", ctx.Err())
+		case <-tick.C:
+			continue
+		}
+		break
+	}
+
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+
+	waited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		if drainErr == nil {
+			drainErr = fmt.Errorf("sched: worker shutdown interrupted: %w", ctx.Err())
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if drainErr != nil {
+		return drainErr
+	}
+	return s.closeErr
+}
+
+// flush finishes every queued task with err (drain interruption).
+func (s *Scheduler) flush(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := 0; c < NumClasses; c++ {
+		for len(s.q.heaps[c]) > 0 {
+			t := s.q.popHead(Class(c))
+			t.Finish(err)
+		}
+	}
+}

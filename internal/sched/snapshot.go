@@ -1,0 +1,88 @@
+package sched
+
+// Snapshot is a point-in-time view of the scheduler for metrics export.
+// Counters are cumulative since New; gauges are instantaneous.
+type Snapshot struct {
+	// Gauges.
+	Workers  int   `json:"workers"`
+	Queued   int   `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// QueuedByClass is the per-class run-queue depth, indexed by
+	// Class.String().
+	QueuedByClass map[string]int `json:"queued_by_class"`
+
+	// Admission counters.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// ServedByClass counts finished tasks per class.
+	ServedByClass map[string]uint64 `json:"served_by_class"`
+
+	// Batching.
+	Dispatches      uint64  `json:"dispatches"`
+	DispatchedTasks uint64  `json:"dispatched_tasks"`
+	BatchOccupancy  float64 `json:"batch_occupancy"` // mean tasks per dispatch
+	MaxBatch        int64   `json:"max_batch"`
+
+	// Deadlines and aging.
+	DeadlineMisses       uint64 `json:"deadline_misses"`
+	ExpiredBeforeRun     uint64 `json:"expired_before_run"`
+	StarvationPromotions uint64 `json:"starvation_promotions"`
+
+	// Resilience.
+	Requeued         uint64 `json:"requeued"`
+	RetriesExhausted uint64 `json:"retries_exhausted"`
+
+	// Pool elasticity.
+	PoolGrown      uint64 `json:"pool_grown"`
+	PoolShrunk     uint64 `json:"pool_shrunk"`
+	PoolReplaced   uint64 `json:"pool_replaced"`
+	PoolGrowFailed uint64 `json:"pool_grow_failed"`
+}
+
+// Snapshot captures the scheduler's current state.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	workers := s.workers
+	queued := s.q.len()
+	byClass := make(map[string]int, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		byClass[Class(c).String()] = len(s.q.heaps[c])
+	}
+	s.mu.Unlock()
+
+	served := make(map[string]uint64, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		served[Class(c).String()] = s.served[c].Load()
+	}
+	snap := Snapshot{
+		Workers:              workers,
+		Queued:               queued,
+		InFlight:             s.inflight.Load(),
+		QueuedByClass:        byClass,
+		Submitted:            s.submitted.Load(),
+		Rejected:             s.rejected.Load(),
+		Completed:            s.completed.Load(),
+		Failed:               s.failed.Load(),
+		Cancelled:            s.cancelled.Load(),
+		ServedByClass:        served,
+		Dispatches:           s.dispatches.Load(),
+		DispatchedTasks:      s.dispatchedTasks.Load(),
+		MaxBatch:             s.maxBatch.Load(),
+		DeadlineMisses:       s.misses.Load(),
+		ExpiredBeforeRun:     s.expired.Load(),
+		StarvationPromotions: s.starved.Load(),
+		Requeued:             s.requeued.Load(),
+		RetriesExhausted:     s.retriesDropped.Load(),
+		PoolGrown:            s.grown.Load(),
+		PoolShrunk:           s.shrunk.Load(),
+		PoolReplaced:         s.replaced.Load(),
+		PoolGrowFailed:       s.growFailed.Load(),
+	}
+	if snap.Dispatches > 0 {
+		snap.BatchOccupancy = float64(snap.DispatchedTasks) / float64(snap.Dispatches)
+	}
+	return snap
+}

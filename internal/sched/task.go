@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Task is one schedulable unit of work. The caller fills the public
+// fields, Submit-s it, and waits on Done; the executor completes it with
+// Finish. A Task is engine-agnostic: the scheduler never looks inside
+// Payload, it only orders, groups and dispatches.
+type Task struct {
+	// Class selects the run queue (weighted fairness across classes).
+	Class Class
+	// Deadline is the EDF key within the class; the zero time means "no
+	// deadline" and sorts after every deadlined task, FIFO. A deadline is a
+	// scheduling hint, not an enforcement mechanism — a task that misses it
+	// still runs (and is counted in DeadlineMisses); enforcement is the
+	// caller's Cancel channel.
+	Deadline time.Time
+	// Cost estimates the work (e.g. flop count); it feeds the weighted
+	// fairness accounting. Zero is treated as 1.
+	Cost float64
+	// Batchable marks tasks that may be coalesced with other batchable
+	// tasks of the same class into one dispatch.
+	Batchable bool
+	// LocKey is the locality key: a dispatch batch is sorted by it, so
+	// tasks sharing a key (e.g. a GEMM shape) run consecutively against
+	// warm scratch pools.
+	LocKey uint64
+	// Cancel, when non-nil and closed, aborts the task: the scheduler
+	// drops it if still queued, and executors should skip it.
+	Cancel <-chan struct{}
+	// Payload is the executor's work description (opaque to the scheduler).
+	Payload any
+
+	s        *Scheduler
+	seq      uint64
+	enq      time.Time
+	index    int // heap position; -1 when not queued
+	attempts atomic.Int32
+	state    atomic.Int32 // 0 pending, 1 finished
+	err      error
+	done     chan struct{}
+}
+
+// Done returns a channel closed when the task has finished (successfully,
+// with an error, or dropped). Valid only after Submit accepted the task.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Err returns the task's outcome. It is nil until Done() is closed; read
+// it only after waiting on Done.
+func (t *Task) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+// Finished reports whether Finish has been called.
+func (t *Task) Finished() bool { return t.state.Load() == 1 }
+
+// Attempts returns how many times the task has been dispatched.
+func (t *Task) Attempts() int { return int(t.attempts.Load()) }
+
+// Cancelled polls the Cancel channel without blocking.
+func (t *Task) Cancelled() bool {
+	if t.Cancel == nil {
+		return false
+	}
+	select {
+	case <-t.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// Finish settles the task exactly once (extra calls are no-ops), records
+// it with the scheduler and releases everyone waiting on Done. Executors
+// call it for every task they complete; the scheduler calls it for tasks
+// dropped in the queue or out of retries.
+func (t *Task) Finish(err error) {
+	if !t.state.CompareAndSwap(0, 1) {
+		return
+	}
+	t.err = err
+	if t.s != nil {
+		t.s.taskFinished(t, err)
+	}
+	close(t.done)
+}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"srumma/internal/sched"
 )
 
 // Histogram buckets are geometric: bucket i covers latencies in
@@ -115,7 +117,50 @@ type MetricsSnapshot struct {
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 
+	// RecentRPS is the completion rate over the trailing rate window —
+	// the observed service rate that prices Retry-After hints.
+	RecentRPS float64 `json:"recent_rps"`
+
 	Routes map[string]RouteStats `json:"routes"`
+	// Classes breaks latency down by workload class (interactive/batch).
+	Classes map[string]RouteStats `json:"classes"`
+
+	// Sched is the workload scheduler's view (nil in FIFO mode): per-class
+	// queue depth, batch occupancy, deadline misses, pool elasticity.
+	Sched *sched.Snapshot `json:"sched,omitempty"`
+}
+
+// rateWindow counts ok-completions in a ring of 1-second buckets, giving a
+// recent-throughput estimate that is O(1) per request and immune to
+// uptime averaging (a burst an hour ago must not price Retry-After now).
+const rateWindowSecs = 8
+
+type rateWindow struct {
+	counts [rateWindowSecs]uint64
+	epochs [rateWindowSecs]int64 // unix second each bucket last belonged to
+}
+
+func (rw *rateWindow) record(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % rateWindowSecs)
+	if rw.epochs[i] != sec {
+		rw.epochs[i] = sec
+		rw.counts[i] = 0
+	}
+	rw.counts[i]++
+}
+
+// rps returns completions per second over the window, counting only
+// buckets young enough to still be inside it.
+func (rw *rateWindow) rps(now time.Time) float64 {
+	sec := now.Unix()
+	var n uint64
+	for i := 0; i < rateWindowSecs; i++ {
+		if sec-rw.epochs[i] < rateWindowSecs {
+			n += rw.counts[i]
+		}
+	}
+	return float64(n) / rateWindowSecs
 }
 
 type metrics struct {
@@ -134,6 +179,13 @@ type metrics struct {
 	flops         float64
 	overall       histogram
 	routes        map[string]*histogram
+	classes       map[string]*histogram
+	rate          rateWindow
+
+	// schedSnap, when set, sources the queue/executing gauges and the Sched
+	// section from the workload scheduler instead of the FIFO admission
+	// counters.
+	schedSnap func() sched.Snapshot
 }
 
 func newMetrics(queueCap int) *metrics {
@@ -141,6 +193,10 @@ func newMetrics(queueCap int) *metrics {
 		start:    time.Now(),
 		queueCap: queueCap,
 		routes:   map[string]*histogram{routeSmall: {}, routeSRUMMA: {}},
+		classes: map[string]*histogram{
+			sched.ClassInteractive.String(): {},
+			sched.ClassBatch.String():       {},
+		},
 	}
 }
 
@@ -165,8 +221,9 @@ func (m *metrics) execStart() {
 
 // finish settles one admitted request. route is "" for requests that never
 // executed (bad input discovered post-admission, cancellation while
-// queued); outcome is one of "ok", "error", "cancelled".
-func (m *metrics) finish(route string, outcome string, latency time.Duration, flops float64, executed bool) {
+// queued); class labels the workload class; outcome is one of "ok",
+// "error", "cancelled".
+func (m *metrics) finish(route, class string, outcome string, latency time.Duration, flops float64, executed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.inFlight--
@@ -177,8 +234,12 @@ func (m *metrics) finish(route string, outcome string, latency time.Duration, fl
 	case "ok":
 		m.completed++
 		m.flops += flops
+		m.rate.record(time.Now())
 		m.overall.observe(latency.Seconds())
 		if h := m.routes[route]; h != nil {
+			h.observe(latency.Seconds())
+		}
+		if h := m.classes[class]; h != nil {
 			h.observe(latency.Seconds())
 		}
 	case "cancelled":
@@ -188,6 +249,13 @@ func (m *metrics) finish(route string, outcome string, latency time.Duration, fl
 	}
 }
 
+// recentRPS is the completion rate over the trailing window.
+func (m *metrics) recentRPS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate.rps(time.Now())
+}
+
 func (m *metrics) teamReplaced() {
 	m.mu.Lock()
 	m.teamsReplaced++
@@ -195,6 +263,14 @@ func (m *metrics) teamReplaced() {
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	schedSnap := m.schedSnap
+	m.mu.Unlock()
+	var ss *sched.Snapshot
+	if schedSnap != nil {
+		snap := schedSnap() // outside m.mu: the scheduler has its own lock
+		ss = &snap
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	up := time.Since(m.start).Seconds()
@@ -215,7 +291,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		LatencyP99Ms:  m.overall.quantile(0.99) * 1e3,
 		LatencyMeanMs: m.overall.mean() * 1e3,
 		LatencyMaxMs:  m.overall.max * 1e3,
+		RecentRPS:     m.rate.rps(time.Now()),
 		Routes:        make(map[string]RouteStats, len(m.routes)),
+		Classes:       make(map[string]RouteStats, len(m.classes)),
 	}
 	if up > 0 {
 		s.ThroughputRPS = float64(m.completed) / up
@@ -227,6 +305,24 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			P50Ms:  h.quantile(0.50) * 1e3,
 			P99Ms:  h.quantile(0.99) * 1e3,
 			MeanMs: h.mean() * 1e3,
+		}
+	}
+	for name, h := range m.classes {
+		s.Classes[name] = RouteStats{
+			Count:  h.total,
+			P50Ms:  h.quantile(0.50) * 1e3,
+			P99Ms:  h.quantile(0.99) * 1e3,
+			MeanMs: h.mean() * 1e3,
+		}
+	}
+	if ss != nil {
+		// Under the scheduler the run queue lives in internal/sched, not in
+		// the FIFO admission counters: source the gauges from it.
+		s.Sched = ss
+		s.QueueDepth = ss.Queued
+		s.Executing = int(ss.InFlight) - ss.Queued
+		if s.Executing < 0 {
+			s.Executing = 0
 		}
 	}
 	return s

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	goruntime "runtime"
@@ -39,6 +40,7 @@ import (
 	"srumma/internal/grid"
 	"srumma/internal/mat"
 	"srumma/internal/rt"
+	"srumma/internal/sched"
 )
 
 // Execution tiers.
@@ -74,6 +76,29 @@ type Config struct {
 	// KernelThreads is the per-rank local-dgemm worker count used when a
 	// request does not choose one; 0 keeps the engine default.
 	KernelThreads int
+
+	// SchedMode selects the dispatch path: "sched" (default) runs admitted
+	// requests through the workload scheduler — batched small GEMMs,
+	// priority/deadline dispatch, elastic team pool; "fifo" keeps the
+	// plain first-come-first-served channel of the original serving layer.
+	SchedMode string
+	// MaxTeams is the elastic pool ceiling in sched mode: the pool grows
+	// from Teams toward it under backlog and shrinks back when teams idle
+	// (default: Teams, i.e. a fixed pool).
+	MaxTeams int
+	// BatchMax caps how many queued small GEMMs coalesce into one team job
+	// (default 32).
+	BatchMax int
+	// StarveAfter bounds cross-class starvation: a request waiting this
+	// long dispatches regardless of class weights (default 2s).
+	StarveAfter time.Duration
+	// TeamIdleAfter is how long a team above Teams may idle before the
+	// elastic pool retires it (default 30s).
+	TeamIdleAfter time.Duration
+	// InteractiveWeight and BatchWeight are the fair-share weights of the
+	// workload classes (defaults 4 and 1).
+	InteractiveWeight float64
+	BatchWeight       float64
 }
 
 func (c Config) fill() Config {
@@ -86,8 +111,29 @@ func (c Config) fill() Config {
 	if c.Teams <= 0 {
 		c.Teams = 1
 	}
+	if c.SchedMode == "" {
+		c.SchedMode = "sched"
+	}
+	if c.MaxTeams < c.Teams {
+		c.MaxTeams = c.Teams
+	}
 	if c.QueueCap <= 0 {
-		c.QueueCap = 4 * c.Teams
+		c.QueueCap = 4 * c.MaxTeams
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.StarveAfter == 0 {
+		c.StarveAfter = 2 * time.Second
+	}
+	if c.TeamIdleAfter <= 0 {
+		c.TeamIdleAfter = 30 * time.Second
+	}
+	if c.InteractiveWeight <= 0 {
+		c.InteractiveWeight = 4
+	}
+	if c.BatchWeight <= 0 {
+		c.BatchWeight = 1
 	}
 	if c.SmallMNK <= 0 {
 		c.SmallMNK = 128 * 128 * 128
@@ -111,12 +157,21 @@ type Server struct {
 	topo rt.Topology
 	g    *grid.Grid
 
+	// FIFO mode ("fifo"): channel-based admission and a fixed team pool.
 	slots chan struct{}    // admission tokens, cap = QueueCap
 	teams chan *armci.Team // engine pool, cap = Teams
+
+	// Scheduler mode ("sched", default): the workload scheduler owns
+	// admission, ordering, batching and the elastic team pool.
+	sched *sched.Scheduler
 
 	met      *metrics
 	draining atomic.Bool
 	jobs     sync.WaitGroup // in-flight multiply handlers
+
+	// testBatchHook holds a func(*sched.Task) tests install to block or
+	// crash dispatches deterministically; nil in production.
+	testBatchHook atomic.Value
 
 	mux *http.ServeMux
 
@@ -136,20 +191,32 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		topo:  topo,
-		g:     g,
-		slots: make(chan struct{}, cfg.QueueCap),
-		teams: make(chan *armci.Team, cfg.Teams),
-		met:   newMetrics(cfg.QueueCap),
+		cfg:  cfg,
+		topo: topo,
+		g:    g,
+		met:  newMetrics(cfg.QueueCap),
 	}
-	for i := 0; i < cfg.Teams; i++ {
-		tm, err := armci.NewTeam(topo)
+	switch cfg.SchedMode {
+	case "sched":
+		sc, err := s.newScheduler()
 		if err != nil {
-			s.closeTeams()
 			return nil, err
 		}
-		s.teams <- tm
+		s.sched = sc
+		s.met.schedSnap = sc.Snapshot
+	case "fifo":
+		s.slots = make(chan struct{}, cfg.QueueCap)
+		s.teams = make(chan *armci.Team, cfg.Teams)
+		for i := 0; i < cfg.Teams; i++ {
+			tm, err := armci.NewTeam(topo)
+			if err != nil {
+				s.closeTeams()
+				return nil, err
+			}
+			s.teams <- tm
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown SchedMode %q (want sched or fifo)", cfg.SchedMode)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
@@ -202,6 +269,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
 	}
+	if s.sched != nil {
+		// Scheduler mode: drain the run queue and close every pooled team
+		// (leaked-rank reports surface through the scheduler's Close).
+		if cerr := s.sched.Close(ctx); cerr != nil {
+			return cerr
+		}
+		return herr
+	}
 	if cerr := s.closeTeams(); cerr != nil {
 		return cerr
 	}
@@ -209,6 +284,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) closeTeams() error {
+	if s.teams == nil {
+		return nil
+	}
 	var first error
 	for {
 		select {
@@ -252,6 +330,10 @@ type InfoResponse struct {
 	Kernel        string `json:"kernel"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
 	KernelThreads int    `json:"default_kernel_threads"`
+	// Scheduler deployment parameters (sched mode).
+	SchedMode string `json:"sched_mode"`
+	MaxTeams  int    `json:"max_teams"`
+	BatchMax  int    `json:"batch_max"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -269,16 +351,37 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Kernel:        mat.KernelName(),
 		GOMAXPROCS:    goruntime.GOMAXPROCS(0),
 		KernelThreads: kt,
+		SchedMode:     s.cfg.SchedMode,
+		MaxTeams:      s.cfg.MaxTeams,
+		BatchMax:      s.cfg.BatchMax,
 	})
 }
 
-// retryAfter estimates how long an overflowing client should back off:
-// optimistically one mean service time, at least one second.
+// retryAfter estimates how long an overflowing client should back off,
+// priced from the observed service rate: the backlog ahead of the client
+// divided by recent completions per second. When the rate window is empty
+// (cold start, long stall) it falls back to one mean service time. The
+// hint is clamped to [1s, 60s].
 func (s *Server) retryAfter() int {
-	snap := s.met.snapshot()
-	secs := int(snap.LatencyMeanMs/1e3) + 1
+	depth := 0
+	if s.sched != nil {
+		depth = s.sched.Queued()
+	} else {
+		snap := s.met.snapshot()
+		depth = snap.QueueDepth
+	}
+	secs := 0
+	if rps := s.met.recentRPS(); rps > 0 {
+		secs = int(math.Ceil(float64(depth+1) / rps))
+	} else {
+		snap := s.met.snapshot()
+		secs = int(snap.LatencyMeanMs/1e3) + 1
+	}
 	if secs < 1 {
 		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
 	}
 	return secs
 }
@@ -308,8 +411,26 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{ID: req.ID, Error: err.Error()})
 		return
 	}
+	cls, err := sched.ParseClass(req.Class)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{ID: req.ID, Error: err.Error()})
+		return
+	}
 
-	// Admission: a bounded number of requests may be in the building.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	if s.sched != nil {
+		s.handleSchedMultiply(w, r, &req, cs, d, cls, timeout)
+		return
+	}
+
+	// FIFO admission: a bounded number of requests may be in the building.
 	// Overflow is backpressure, not buffering.
 	select {
 	case s.slots <- struct{}{}:
@@ -328,17 +449,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		s.jobs.Done()
 	}()
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp, status, eresp := s.execute(ctx, &req, cs, d, admitted)
+	resp, status, eresp := s.execute(ctx, &req, cs, d, cls, admitted)
 	if eresp != nil {
 		writeJSON(w, status, *eresp)
 		return
@@ -346,14 +460,107 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execute routes and runs one admitted request, settling metrics exactly
-// once. It returns either a success response or an error response with its
-// HTTP status.
-func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, admitted time.Time) (*MultiplyResponse, int, *ErrorResponse) {
+// handleSchedMultiply runs one validated request through the workload
+// scheduler: build a task, submit (backpressure on a full run queue), wait
+// for the executor — or the deadline — and translate the outcome.
+func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, timeout time.Duration) {
+	admitted := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The scheduling deadline (EDF key) defaults to the enforcement
+	// deadline; deadline_ms lets a client ask for earlier placement
+	// without shrinking its timeout.
+	deadline := admitted.Add(timeout)
+	if req.DeadlineMillis > 0 {
+		deadline = admitted.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
 	route := routeSRUMMA
 	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
 		route = routeSmall
 	}
+	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
+	job := &schedJob{req: req, cs: cs, d: d, ctx: ctx}
+	task := &sched.Task{
+		Class:     cls,
+		Deadline:  deadline,
+		Cost:      flops,
+		Batchable: route == routeSmall,
+		LocKey:    locKey(cs, d),
+		Cancel:    ctx.Done(),
+		Payload:   job,
+	}
+	// Register the job BEFORE Submit: once submitted, the task can dispatch
+	// (and observers can react) before this goroutine runs another line, so
+	// the drain ledger must already include it.
+	s.jobs.Add(1)
+	defer s.jobs.Done()
+	if err := s.sched.Submit(task); err != nil {
+		if errors.Is(err, sched.ErrClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+			return
+		}
+		ra := s.retryAfter()
+		s.met.reject()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
+		return
+	}
+	s.met.admit()
+
+	select {
+	case <-task.Done():
+	case <-ctx.Done():
+		// Deadline while queued or executing: the scheduler drops a queued
+		// task when it surfaces; an executing one finishes into the void.
+		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
+		return
+	}
+
+	err := task.Err()
+	switch {
+	case err == nil:
+		total := time.Since(admitted)
+		s.met.finish(route, cls.String(), "ok", total, flops, false)
+		elapsed := job.finished.Sub(job.started)
+		resp := MultiplyResponse{
+			ID:            req.ID,
+			Rows:          d.M,
+			Cols:          d.N,
+			C:             job.out.Data,
+			Route:         route,
+			QueueMillis:   job.started.Sub(admitted).Seconds() * 1e3,
+			ElapsedMillis: elapsed.Seconds() * 1e3,
+			Class:         cls.String(),
+			Batch:         job.batch,
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			resp.GFlops = flops / secs / 1e9
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, sched.ErrCancelled), errors.Is(err, core.ErrCancelled),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()})
+	case errors.Is(err, sched.ErrClosed):
+		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+	default:
+		s.met.finish(route, cls.String(), "error", 0, 0, false)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{ID: req.ID, Error: err.Error()})
+	}
+}
+
+// execute routes and runs one admitted request, settling metrics exactly
+// once. It returns either a success response or an error response with its
+// HTTP status.
+func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, admitted time.Time) (*MultiplyResponse, int, *ErrorResponse) {
+	route := routeSRUMMA
+	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
+		route = routeSmall
+	}
+	class := cls.String()
 	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
 
 	var (
@@ -374,7 +581,7 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 		select {
 		case tm = <-s.teams:
 		case <-ctx.Done():
-			s.met.finish(route, "cancelled", 0, 0, false)
+			s.met.finish(route, class, "cancelled", 0, 0, false)
 			return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "deadline exceeded while queued"}
 		}
 		s.met.execStart()
@@ -388,7 +595,7 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 	switch {
 	case err == nil:
 		total := time.Since(admitted)
-		s.met.finish(route, "ok", total, flops, true)
+		s.met.finish(route, class, "ok", total, flops, true)
 		resp := &MultiplyResponse{
 			ID:            req.ID,
 			Rows:          d.M,
@@ -397,16 +604,18 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 			Route:         route,
 			QueueMillis:   queueed.Seconds() * 1e3,
 			ElapsedMillis: execTime.Seconds() * 1e3,
+			Class:         class,
+			Batch:         1,
 		}
 		if secs := execTime.Seconds(); secs > 0 {
 			resp.GFlops = flops / secs / 1e9
 		}
 		return resp, http.StatusOK, nil
 	case errors.Is(err, core.ErrCancelled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		s.met.finish(route, "cancelled", 0, 0, true)
+		s.met.finish(route, class, "cancelled", 0, 0, true)
 		return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()}
 	default:
-		s.met.finish(route, "error", 0, 0, true)
+		s.met.finish(route, class, "error", 0, 0, true)
 		return nil, http.StatusInternalServerError, &ErrorResponse{ID: req.ID, Error: err.Error()}
 	}
 }

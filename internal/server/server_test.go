@@ -170,7 +170,7 @@ func TestServerValidation(t *testing.T) {
 // withholding the only engine team, then verifies overflow gets 429 with a
 // Retry-After hint while every admitted request still completes correctly.
 func TestServerOverflow429(t *testing.T) {
-	s := newTestServer(t, Config{NProcs: 4, Teams: 1, QueueCap: 2, SmallMNK: 1})
+	s := newTestServer(t, Config{NProcs: 4, Teams: 1, QueueCap: 2, SmallMNK: 1, SchedMode: "fifo"})
 	tm := <-s.teams // occupy the engine: admitted requests queue on it
 
 	req := randReq(24, 24, 24, 400)
@@ -239,7 +239,7 @@ func TestServerOverflow429(t *testing.T) {
 // before an engine frees up gets 504 and counts as cancelled — and the
 // server keeps serving afterwards.
 func TestServerDeadlineWhileQueued(t *testing.T) {
-	s := newTestServer(t, Config{NProcs: 4, Teams: 1, SmallMNK: 1})
+	s := newTestServer(t, Config{NProcs: 4, Teams: 1, SmallMNK: 1, SchedMode: "fifo"})
 	tm := <-s.teams
 
 	req := randReq(24, 24, 24, 500)
@@ -335,7 +335,7 @@ func TestServerInfoAndHealth(t *testing.T) {
 // (admitted, engine-waiting) request completes with 200, new requests and
 // healthz are refused, and the engine teams close without leak reports.
 func TestServerShutdownDrains(t *testing.T) {
-	s, err := New(Config{NProcs: 4, Teams: 1, SmallMNK: 1})
+	s, err := New(Config{NProcs: 4, Teams: 1, SmallMNK: 1, SchedMode: "fifo"})
 	if err != nil {
 		t.Fatal(err)
 	}

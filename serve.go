@@ -6,22 +6,31 @@ package srumma
 
 import (
 	"srumma/internal/armci"
+	"srumma/internal/sched"
 	"srumma/internal/server"
 )
 
-// Server is an HTTP GEMM service: an admission-controlled request queue
-// (429 + Retry-After on overflow) in front of a pool of persistent SRUMMA
-// engine teams, with size-based routing between the direct local kernel and
-// the distributed engine, per-request deadlines enforced as cooperative
-// cancellation, /metrics and /healthz, and graceful draining shutdown.
+// Server is an HTTP GEMM service: a workload scheduler (batched small
+// GEMMs, priority/deadline-aware dispatch, elastic team pooling) in front
+// of a pool of persistent SRUMMA engine teams, with admission backpressure
+// (429 + Retry-After priced from the observed service rate), size-based
+// routing between the direct local kernel and the distributed engine,
+// per-request deadlines enforced as cooperative cancellation, /metrics and
+// /healthz, and graceful draining shutdown. Set ServerConfig.SchedMode to
+// "fifo" for the plain first-come-first-served dispatch path.
 type Server = server.Server
 
 // ServerConfig sizes a Server; the zero value gets serviceable defaults
-// (4 ranks per team, 1 team, queue capacity 4).
+// (4 ranks per team, 1 team, queue capacity 4, scheduler dispatch).
 type ServerConfig = server.Config
 
 // ServerMetrics is the snapshot served by GET /metrics.
 type ServerMetrics = server.MetricsSnapshot
+
+// SchedSnapshot is the workload scheduler's section of a ServerMetrics
+// snapshot: per-class queue depths, batch occupancy, deadline misses and
+// pool elasticity counters.
+type SchedSnapshot = sched.Snapshot
 
 // NewServer builds a GEMM service and spins up its persistent engine teams.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
