@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke verify repro chaos fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke verify repro chaos fuzz clean
 
 all: build test
 
@@ -72,6 +72,22 @@ bench-serve:
 	    -mix 32x32x32,96x96x96,256x256x256 -out BENCH_server.json; rc=$$?; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid; drain=$$?; \
 	set -e; test $$rc -eq 0; test $$drain -eq 0
+
+# Trace both engines end to end: a traced multiply on the virtual-time
+# model and on the real engine, Chrome trace-event JSON exported from
+# each and validated, overlap ratio recorded in the run summaries.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/srumma-trace ./cmd/srumma-trace; \
+	$$tmp/srumma-trace -engine sim -n 400 -procs 4 -width 60 \
+	    -chrome $$tmp/sim.json -out $$tmp/sim_run.json > /dev/null; \
+	$$tmp/srumma-trace -engine real -n 256 -procs 4 -ppn 1 -width 60 \
+	    -chrome $$tmp/real.json -out $$tmp/real_run.json > /dev/null; \
+	$$tmp/srumma-trace -validate $$tmp/sim.json; \
+	$$tmp/srumma-trace -validate $$tmp/real.json; \
+	grep -q '"overlap_ratio"' $$tmp/sim_run.json; \
+	grep -q '"overlap_ratio"' $$tmp/real_run.json; \
+	echo "trace-smoke: PASS (both engines traced, Chrome exports valid)"
 
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:

@@ -3,7 +3,9 @@
 //
 //	srumma-serve -addr :8711 -nprocs 4 -teams 1
 //
-// Endpoints: POST /v1/multiply, GET /metrics, GET /healthz, GET /v1/info.
+// Endpoints: POST /v1/multiply, GET /metrics, GET /healthz, GET /v1/info,
+// and — with -trace-events — GET /debug/trace (Chrome trace-event JSON of
+// the most recent engine/request/scheduler spans).
 // SIGINT/SIGTERM triggers a graceful drain: in-flight requests finish (or
 // hit their deadlines), then the engine teams are closed with leaked-rank
 // detection.
@@ -45,6 +47,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max queued small GEMMs coalesced into one team job (0: 32)")
 	starveAfter := flag.Duration("starve-after", 0, "promote any request waiting this long regardless of class weights (0: 2s)")
 	teamIdle := flag.Duration("team-idle", 0, "retire elastic teams idle this long (0: 30s)")
+	traceEvents := flag.Int("trace-events", 0, "per-lane span ring size for GET /debug/trace (0: tracing off)")
 	flag.Parse()
 
 	s, err := server.New(server.Config{
@@ -61,6 +64,7 @@ func main() {
 		BatchMax:       *batchMax,
 		StarveAfter:    *starveAfter,
 		TeamIdleAfter:  *teamIdle,
+		TraceEvents:    *traceEvents,
 	})
 	if err != nil {
 		log.Fatal(err)

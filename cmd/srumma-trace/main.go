@@ -1,30 +1,48 @@
-// Command srumma-trace runs one simulated matrix multiplication with event
-// tracing and renders each rank's activity timeline — the double-buffered
-// pipeline made visible: g = dgemm, w = waiting on communication, c =
-// shared-memory copy, p = pack, b = barrier, s = CPU stolen by staging
-// copies, . = idle. Comparing `-alg srumma` with `-alg pdgemm` on the same
-// configuration shows exactly where the paper's overlap advantage lives.
+// Command srumma-trace runs one traced matrix multiplication and renders
+// each rank's activity timeline — the double-buffered pipeline made
+// visible: g = dgemm, w = waiting on communication, c = shared-memory
+// copy, p = pack, b = barrier, s = CPU stolen by staging copies, . = idle.
+// Comparing `-alg srumma` with `-alg pdgemm` on the same configuration
+// shows exactly where the paper's overlap advantage lives.
+//
+// Two engines share one event model (internal/obs):
+//
+//   - `-engine sim` (default) runs the virtual-time performance model of a
+//     chosen `-platform`;
+//   - `-engine real` runs the actual armci engine on this machine with
+//     wall-clock spans — the paper's overlap ratio measured, not modeled.
 //
 // Usage:
 //
 //	srumma-trace -platform linux-myrinet -n 1000 -procs 8
 //	srumma-trace -platform cray-x1 -n 2000 -procs 16 -blocking
 //	srumma-trace -alg pdgemm -n 1000 -procs 8
+//	srumma-trace -engine real -n 600 -procs 4 -chrome trace.json
 //	srumma-trace -n 600 -procs 16 -chrome trace.json
 //	srumma-trace -n 1000 -procs 8 -chaos -seed 7
+//	srumma-trace -validate trace.json
 //
-// With -chaos the seeded fault plan (internal/faults) perturbs the
-// simulated fabric — dropped and delayed transfers, one straggler node —
-// and the timeline shows where the pipeline absorbs the injected latency.
+// Every run appends a machine-readable summary (overlap ratio, per-kind
+// busy time) to the file named by -out (default BENCH_trace.json; empty
+// disables). -validate checks that a previously exported file is
+// well-formed Chrome trace-event JSON and exits.
+//
+// With -chaos (sim engine only) the seeded fault plan (internal/faults)
+// perturbs the simulated fabric — dropped and delayed transfers, one
+// straggler node — and the timeline shows where the pipeline absorbs the
+// injected latency.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"time"
 
+	"srumma/internal/armci"
 	"srumma/internal/cannon"
 	"srumma/internal/core"
 	"srumma/internal/driver"
@@ -32,6 +50,7 @@ import (
 	"srumma/internal/fox"
 	"srumma/internal/grid"
 	"srumma/internal/machine"
+	"srumma/internal/obs"
 	"srumma/internal/pdgemm"
 	"srumma/internal/rt"
 	"srumma/internal/simnet"
@@ -39,41 +58,134 @@ import (
 	"srumma/internal/summa"
 )
 
+// traceDoc is the BENCH_trace.json schema: one traced run's headline
+// numbers, with the paper's overlap ratio computed from the recorded spans.
+type traceDoc struct {
+	Engine   string `json:"engine"`
+	Alg      string `json:"alg"`
+	Platform string `json:"platform,omitempty"` // sim engine only
+	N        int    `json:"n"`
+	Procs    int    `json:"procs"`
+	PPN      int    `json:"ppn,omitempty"` // real engine only
+
+	WallSeconds float64 `json:"wall_s"`
+	GFlops      float64 `json:"gflops"`
+
+	// OverlapRatio is 1 - wait/(wait+compute) over each rank's pipelined
+	// phase (first gemm start to last gemm end): 1.0 means communication
+	// fully hidden behind dgemm.
+	OverlapRatio   float64 `json:"overlap_ratio"`
+	WaitSeconds    float64 `json:"wait_s"`
+	ComputeSeconds float64 `json:"compute_s"`
+
+	// BusySeconds is per-kind busy time summed over ranks.
+	BusySeconds map[string]float64 `json:"busy_s"`
+
+	Chaos bool   `json:"chaos,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("srumma-trace: ")
-	platform := flag.String("platform", "linux-myrinet", "modeled platform")
+	engine := flag.String("engine", "sim", `engine: "sim" (virtual-time model) or "real" (wall-clock armci run)`)
+	platform := flag.String("platform", "linux-myrinet", "modeled platform (sim engine)")
 	alg := flag.String("alg", "srumma", "algorithm: srumma, pdgemm, summa, cannon, fox")
 	n := flag.Int("n", 1000, "matrix size (N x N x N)")
 	procs := flag.Int("procs", 8, "process count")
+	ppn := flag.Int("ppn", 0, "ranks per shared-memory domain (real engine; 0: all on one node)")
 	width := flag.Int("width", 100, "timeline width in characters")
 	blocking := flag.Bool("blocking", false, "single-buffer blocking gets")
 	noshift := flag.Bool("noshift", false, "disable the diagonal-shift ordering")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	out := flag.String("out", "BENCH_trace.json", "write a machine-readable run summary here (empty: skip)")
+	validate := flag.String("validate", "", "validate a Chrome trace-event JSON file and exit")
 	chaos := flag.Bool("chaos", false, "inject deterministic faults into the simulated fabric (drops, delays, one straggler)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed (with -chaos)")
 	flag.Parse()
 
-	prof, err := machine.ByName(*platform)
-	if err != nil {
-		log.Fatal(err)
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slices, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON, %d slices\n", *validate, slices)
+		return
 	}
+
 	g, err := grid.Square(*procs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d := core.Dims{M: *n, N: *n, K: *n}
+	flops := 2 * float64(*n) * float64(*n) * float64(*n)
 
-	tr := &simrt.Tracer{}
-	var t0, t1 float64
-	body := func(c rt.Ctx) {
-		if c.Rank() == 0 {
-			defer func() { t1 = c.Now() }()
+	var (
+		events []obs.Event
+		wall   float64 // run duration on the engine's clock (seconds)
+		doc    = traceDoc{Engine: *engine, Alg: *alg, N: *n, Procs: *procs}
+	)
+
+	switch *engine {
+	case "sim":
+		events, wall = runSim(g, d, *platform, *alg, *procs, *width, *blocking, *noshift, *chaos, *seed, *chrome, flops)
+		doc.Platform = *platform
+		doc.Chaos = *chaos
+		if *chaos {
+			doc.Seed = *seed
 		}
-		switch *alg {
+	case "real":
+		if *chaos {
+			log.Fatal("-chaos models the simulated fabric; use -engine sim (the real engine's fault injection lives in srumma-load)")
+		}
+		events, wall = runReal(g, d, *alg, *procs, *ppn, *width, *blocking, *noshift, *chrome, flops)
+		doc.PPN = *ppn
+	default:
+		log.Fatalf("unknown engine %q (want sim or real)", *engine)
+	}
+
+	// The overlap ratio — the paper's claim as one number — plus per-kind
+	// busy time, computed from the same events both engines record.
+	wait, compute, ratio := obs.OverlapRatio(events)
+	fmt.Printf("\noverlap during pipelined phase: wait %.3f ms, compute %.3f ms, overlap ratio %.3f\n",
+		wait*1e3, compute*1e3, ratio)
+
+	doc.WallSeconds = wall
+	if wall > 0 {
+		doc.GFlops = flops / wall / 1e9
+	}
+	doc.OverlapRatio = ratio
+	doc.WaitSeconds = wait
+	doc.ComputeSeconds = compute
+	doc.BusySeconds = obs.Summary(events)
+	if *out != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote run summary to %s\n", *out)
+	}
+}
+
+// algBody builds the per-rank job for the chosen algorithm. t0/t1 receive
+// rank 0's multiply span on the engine's clock. prof is nil on the real
+// engine (the flavor heuristic is a property of the modeled platform).
+func algBody(g *grid.Grid, d core.Dims, alg string, prof *machine.Profile, blocking, noshift bool, t0, t1 *float64) func(rt.Ctx) {
+	return func(c rt.Ctx) {
+		if c.Rank() == 0 {
+			defer func() { *t1 = c.Now() }()
+		}
+		switch alg {
 		case "srumma":
-			opts := core.Options{SingleBuffer: *blocking, NoDiagonalShift: *noshift}
-			if prof.DomainSpansMachine && !prof.RemoteCacheable {
+			opts := core.Options{SingleBuffer: blocking, NoDiagonalShift: noshift}
+			if prof != nil && prof.DomainSpansMachine && !prof.RemoteCacheable {
 				opts.Flavor = core.FlavorCopy
 			}
 			da, db, dc := core.Dists(g, d, opts.Case)
@@ -81,7 +193,7 @@ func main() {
 			gb := driver.AllocBlock(c, db)
 			gc := driver.AllocBlock(c, dc)
 			if c.Rank() == 0 {
-				t0 = c.Now()
+				*t0 = c.Now()
 			}
 			if err := core.Multiply(c, g, d, opts, ga, gb, gc); err != nil {
 				panic(err)
@@ -96,7 +208,7 @@ func main() {
 			gb := driver.AllocCyclic(c, db)
 			gc := driver.AllocCyclic(c, dc)
 			if c.Rank() == 0 {
-				t0 = c.Now()
+				*t0 = c.Now()
 			}
 			if err := pdgemm.Multiply(c, g, pd, pdgemm.Options{}, ga, gb, gc); err != nil {
 				panic(err)
@@ -108,7 +220,7 @@ func main() {
 			gb := driver.AllocBlock(c, db)
 			gc := driver.AllocBlock(c, dc)
 			if c.Rank() == 0 {
-				t0 = c.Now()
+				*t0 = c.Now()
 			}
 			if err := summa.Multiply(c, g, sd, summa.Options{}, ga, gb, gc); err != nil {
 				panic(err)
@@ -120,7 +232,7 @@ func main() {
 			gb := driver.AllocBlock(c, db)
 			gc := driver.AllocBlock(c, dc)
 			if c.Rank() == 0 {
-				t0 = c.Now()
+				*t0 = c.Now()
 			}
 			if err := cannon.Multiply(c, g, cd, ga, gb, gc); err != nil {
 				panic(err)
@@ -132,24 +244,62 @@ func main() {
 			gb := driver.AllocBlock(c, db)
 			gc := driver.AllocBlock(c, dc)
 			if c.Rank() == 0 {
-				t0 = c.Now()
+				*t0 = c.Now()
 			}
 			if err := fox.Multiply(c, g, fd, ga, gb, gc); err != nil {
 				panic(err)
 			}
 		default:
-			panic(fmt.Sprintf("unknown algorithm %q", *alg))
+			panic(fmt.Sprintf("unknown algorithm %q", alg))
 		}
 	}
+}
+
+// printActivity renders the shared tail of both engines' reports: the
+// per-kind busy breakdown and parallel efficiency over `horizon` seconds.
+func printActivity(events []obs.Event, procs int, horizon float64) {
+	sum := obs.Summary(events)
+	kinds := make([]string, 0, len(sum))
+	for k := range sum {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	total := 0.0
+	for _, k := range kinds {
+		total += sum[k]
+	}
+	fmt.Printf("\naggregate activity over %d ranks:\n", procs)
+	for _, k := range kinds {
+		fmt.Printf("  %-8s %10.3f ms (%5.1f%%)\n", k, sum[k]*1e3, 100*sum[k]/total)
+	}
+	busy := sum["gemm"]
+	idleish := float64(procs)*horizon - total
+	fmt.Printf("  %-8s %10.3f ms\n", "idle", idleish*1e3)
+	fmt.Printf("\nparallel efficiency (gemm time / total cpu time): %.1f%%\n",
+		100*busy/(float64(procs)*horizon))
+}
+
+// runSim runs the virtual-time engine. Its stdout report (through the
+// parallel-efficiency line) predates the obs refactor and is preserved
+// byte-for-byte; the simrt golden test pins the rendering underneath it.
+func runSim(g *grid.Grid, d core.Dims, platform, alg string, procs, width int, blocking, noshift, chaos bool, seed uint64, chrome string, flops float64) ([]obs.Event, float64) {
+	prof, err := machine.ByName(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := &simrt.Tracer{}
+	var t0, t1 float64
+	body := algBody(g, d, alg, &prof, blocking, noshift, &t0, &t1)
+
 	var res *simrt.Result
 	injected := 0
-	if *chaos {
+	if chaos {
 		// The same deterministic fault plan the real engine uses, consumed
 		// as latency/loss events on the simulated fabric: the timeline shows
 		// where the pipeline absorbs (or stalls on) the faults.
 		plan, perr := faults.NewPlan(faults.Config{
-			Seed: *seed, DropRate: 0.05, DelayRate: 0.1, Stragglers: 1,
-		}, *procs)
+			Seed: seed, DropRate: 0.05, DelayRate: 0.1, Stragglers: 1,
+		}, procs)
 		if perr != nil {
 			log.Fatal(perr)
 		}
@@ -161,57 +311,102 @@ func main() {
 			}
 			return f
 		}
-		res, err = simrt.RunTracedFaults(prof, *procs, tr, hook, body)
+		res, err = simrt.RunTracedFaults(prof, procs, tr, hook, body)
 	} else {
-		res, err = simrt.RunTraced(prof, *procs, tr, body)
+		res, err = simrt.RunTraced(prof, procs, tr, body)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	flops := 2 * float64(*n) * float64(*n) * float64(*n)
 	fmt.Printf("%s %dx%dx%d on %s, %d procs (%dx%d grid): %.3f ms, %.1f GFLOP/s\n",
-		*alg, *n, *n, *n, prof.Name, *procs, g.P, g.Q, res.Time*1e3, flops/res.Time/1e9)
+		alg, d.M, d.N, d.K, prof.Name, procs, g.P, g.Q, res.Time*1e3, flops/res.Time/1e9)
 	fmt.Printf("multiply span on rank 0: %.3f ms\n", (t1-t0)*1e3)
-	if *chaos {
-		fmt.Printf("chaos: seed %d, %d transfers perturbed (lost or delayed on the fabric)\n", *seed, injected)
+	if chaos {
+		fmt.Printf("chaos: seed %d, %d transfers perturbed (lost or delayed on the fabric)\n", seed, injected)
 	}
 	fmt.Println()
 
 	fmt.Printf("timeline (g=gemm w=wait c=copy p=pack b=barrier s=steal):\n")
-	fmt.Print(tr.Timeline(*procs, *width, res.Time))
+	fmt.Print(tr.Timeline(procs, width, res.Time))
+	printActivity(tr.Events(), procs, res.Time)
 
-	sum := tr.Summary()
-	kinds := make([]string, 0, len(sum))
-	for k := range sum {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	total := 0.0
-	for _, k := range kinds {
-		total += sum[k]
-	}
-	fmt.Printf("\naggregate activity over %d ranks:\n", *procs)
-	for _, k := range kinds {
-		fmt.Printf("  %-8s %10.3f ms (%5.1f%%)\n", k, sum[k]*1e3, 100*sum[k]/total)
-	}
-	busy := sum["gemm"]
-	idleish := float64(*procs)*res.Time - total
-	fmt.Printf("  %-8s %10.3f ms\n", "idle", idleish*1e3)
-	fmt.Printf("\nparallel efficiency (gemm time / total cpu time): %.1f%%\n",
-		100*busy/(float64(*procs)*res.Time))
-
-	if *chrome != "" {
-		f, err := os.Create(*chrome)
+	if chrome != "" {
+		f, err := os.Create(chrome)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := tr.WriteChromeTrace(f, *procs); err != nil {
+		if err := tr.WriteChromeTrace(f, procs); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", chrome)
 	}
+	return tr.Events(), res.Time
+}
+
+// runReal runs the armci engine on this machine with an unbounded span
+// recorder attached — wall-clock spans from the same instrumentation the
+// serving layer exposes at /debug/trace.
+func runReal(g *grid.Grid, d core.Dims, alg string, procs, ppn, width int, blocking, noshift bool, chrome string, flops float64) ([]obs.Event, float64) {
+	if ppn <= 0 {
+		ppn = procs
+	}
+	topo := rt.Topology{NProcs: procs, ProcsPerNode: ppn, DomainSpansMachine: ppn >= procs}
+	if err := topo.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	rec := obs.NewRecorder(procs, 0)
+	var t0, t1 float64
+	body := algBody(g, d, alg, nil, blocking, noshift, &t0, &t1)
+	w0 := time.Now()
+	if _, err := armci.RunTraced(topo, rec, body); err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(w0).Seconds()
+	events := rec.Events()
+
+	fmt.Printf("%s %dx%dx%d on real engine, %d procs (%dx%d grid, %d/node): %.3f ms, %.1f GFLOP/s\n",
+		alg, d.M, d.N, d.K, procs, g.P, g.Q, ppn, wall*1e3, flops/wall/1e9)
+	fmt.Printf("multiply span on rank 0: %.3f ms\n", (t1-t0)*1e3)
+	fmt.Println()
+
+	// Horizon on the recorder's clock: the ranks' spans end before
+	// RunTraced returns (team teardown is outside them), so render against
+	// the last recorded instant rather than the enclosing wall time.
+	horizon := 0.0
+	for _, e := range events {
+		if e.End > horizon {
+			horizon = e.End
+		}
+	}
+	fmt.Printf("timeline (g=gemm w=wait t=get u=put c=copy p=pack b=barrier i=issue j=job):\n")
+	fmt.Print(obs.Timeline(events, procs, width, horizon))
+	// Job spans envelope a rank's whole run and issue spans envelope the
+	// NbGet calls they bracket — everything inside both is also recorded —
+	// so they'd double-count in a busy/idle breakdown; report leaf spans.
+	busy := make([]obs.Event, 0, len(events))
+	for _, e := range events {
+		if e.Kind != obs.KindJob && e.Kind != obs.KindIssue {
+			busy = append(busy, e)
+		}
+	}
+	printActivity(busy, procs, horizon)
+
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, events, procs, "srumma real run"); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", chrome)
+	}
+	return events, wall
 }

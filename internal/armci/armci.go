@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"srumma/internal/mat"
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 )
 
@@ -199,6 +200,31 @@ type ctx struct {
 	// kernelThreads is the local-dgemm worker count (rt.KernelTuner);
 	// only this rank's goroutine touches it.
 	kernelThreads int
+	// rec receives wall-clock spans when tracing is on (nil otherwise —
+	// the default, in which case every span helper is a pointer compare).
+	rec *obs.Recorder
+}
+
+// ObsRecorder implements rt.Recorded: algorithm layers (the executor's
+// fetch-issue spans) discover this rank's recorder through the Ctx.
+func (c *ctx) ObsRecorder() *obs.Recorder { return c.rec }
+
+// spanStart returns time.Now when tracing is on, the zero time otherwise.
+// Ops that do not already read the clock for stats use it so the disabled
+// path never touches the clock.
+func (c *ctx) spanStart() time.Time {
+	if c.rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span records one wall-clock interval ending now on this rank's lane.
+func (c *ctx) span(k obs.Kind, t0 time.Time) {
+	if c.rec == nil || t0.IsZero() {
+		return
+	}
+	c.rec.RecordWall(c.rank, k, t0, time.Now())
 }
 
 func (c *ctx) Rank() int         { return c.rank }
@@ -316,6 +342,7 @@ func (c *ctx) Direct(g rt.Global, rank int) rt.Buffer {
 }
 
 func (c *ctx) get(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) {
+	t0 := c.spanStart()
 	src := g.(*global).segs[rank].data
 	d := dst.(*buffer).data
 	if off < 0 || off+n > len(src) || dstOff < 0 || dstOff+n > len(d) {
@@ -323,6 +350,7 @@ func (c *ctx) get(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) {
 			off, off+n, len(src), dstOff, dstOff+n, len(d)))
 	}
 	copy(d[dstOff:dstOff+n], src[off:off+n])
+	c.span(obs.KindGet, t0)
 	if c.rt.topo.SameDomain(c.rank, rank) {
 		c.stats.BytesShared += int64(n) * 8
 		c.stats.GetsShared++
@@ -344,6 +372,7 @@ func (c *ctx) NbGet(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) rt
 }
 
 func (c *ctx) NbGetSub(g rt.Global, rank, off, ld, rows, cols int, dst rt.Buffer, dstOff int) rt.Handle {
+	t0 := c.spanStart()
 	src := g.(*global).segs[rank].data
 	d := dst.(*buffer).data
 	if rows < 0 || cols < 0 || ld < cols || off < 0 {
@@ -368,10 +397,12 @@ func (c *ctx) NbGetSub(g rt.Global, rank, off, ld, rows, cols int, dst rt.Buffer
 		c.stats.BytesRemote += n
 		c.stats.GetsRemote++
 	}
+	c.span(obs.KindGet, t0)
 	return doneHandle{}
 }
 
 func (c *ctx) Put(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) {
+	t0 := c.spanStart()
 	s := src.(*buffer).data
 	d := g.(*global).segs[rank].data
 	if srcOff < 0 || srcOff+n > len(s) || off < 0 || off+n > len(d) {
@@ -385,6 +416,7 @@ func (c *ctx) Put(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) {
 	} else {
 		c.stats.BytesRemote += int64(n) * 8
 	}
+	c.span(obs.KindPut, t0)
 }
 
 func (c *ctx) NbPut(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) rt.Handle {
@@ -394,6 +426,7 @@ func (c *ctx) NbPut(src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) rt
 }
 
 func (c *ctx) NbPutSub(src rt.Buffer, srcOff int, g rt.Global, rank, off, ld, rows, cols int) rt.Handle {
+	t0 := c.spanStart()
 	s := src.(*buffer).data
 	d := g.(*global).segs[rank].data
 	if rows < 0 || cols < 0 || ld < cols || off < 0 {
@@ -417,10 +450,12 @@ func (c *ctx) NbPutSub(src rt.Buffer, srcOff int, g rt.Global, rank, off, ld, ro
 	} else {
 		c.stats.BytesRemote += bytes
 	}
+	c.span(obs.KindPut, t0)
 	return doneHandle{}
 }
 
 func (c *ctx) Acc(alpha float64, src rt.Buffer, srcOff, n int, g rt.Global, rank, off int) {
+	t0 := c.spanStart()
 	gg := g.(*global)
 	s := src.(*buffer).data
 	d := gg.segs[rank].data
@@ -439,6 +474,7 @@ func (c *ctx) Acc(alpha float64, src rt.Buffer, srcOff, n int, g rt.Global, rank
 	} else {
 		c.stats.BytesRemote += int64(n) * 8
 	}
+	c.span(obs.KindPut, t0)
 }
 
 func (c *ctx) FetchAdd(g rt.Global, rank, off int, delta float64) float64 {
@@ -467,6 +503,7 @@ func (c *ctx) Wait(h rt.Handle) {
 		t0 := time.Now()
 		<-v.ch
 		c.stats.WaitTime += time.Since(t0).Seconds()
+		c.span(obs.KindWait, t0)
 	default:
 		panic(fmt.Sprintf("armci: Wait on foreign handle %T", h))
 	}
@@ -479,7 +516,9 @@ func (c *ctx) Send(to, tag int, src rt.Buffer, off, n int) {
 	}
 	c.stats.Msgs++
 	c.stats.MsgBytes += int64(n) * 8
+	t0 := c.spanStart()
 	c.rt.mbox.send(msgKey{c.rank, to, tag}, s[off:off+n])
+	c.span(obs.KindCopy, t0)
 }
 
 func (c *ctx) Isend(to, tag int, src rt.Buffer, off, n int) rt.Handle {
@@ -504,6 +543,7 @@ func (c *ctx) Barrier() {
 	t0 := time.Now()
 	c.rt.barrier.await()
 	c.stats.BarrierTime += time.Since(t0).Seconds()
+	c.span(obs.KindBarrier, t0)
 }
 
 func (c *ctx) matView(m rt.Mat) *mat.Matrix {
@@ -538,6 +578,7 @@ func (c *ctx) Gemm(alpha float64, a, b rt.Mat, beta float64, cm rt.Mat) {
 	}
 	c.stats.Flops += 2 * float64(m) * float64(n) * float64(k)
 	c.stats.ComputeTime += time.Since(t0).Seconds()
+	c.span(obs.KindGemm, t0)
 }
 
 func (c *ctx) Pack(src rt.Mat, dst rt.Buffer, dstOff int) {
@@ -550,6 +591,7 @@ func (c *ctx) Pack(src rt.Mat, dst rt.Buffer, dstOff int) {
 	}
 	mat.PackInto(d[dstOff:dstOff+need], sm, 0, 0, src.Rows, src.Cols)
 	c.stats.PackTime += time.Since(t0).Seconds()
+	c.span(obs.KindPack, t0)
 }
 
 func (c *ctx) Unpack(src rt.Buffer, srcOff int, dst rt.Mat) {
@@ -562,6 +604,7 @@ func (c *ctx) Unpack(src rt.Buffer, srcOff int, dst rt.Mat) {
 	}
 	mat.UnpackFrom(dm, s[srcOff:srcOff+need], 0, 0, dst.Rows, dst.Cols)
 	c.stats.PackTime += time.Since(t0).Seconds()
+	c.span(obs.KindPack, t0)
 }
 
 func (c *ctx) UnpackTranspose(src rt.Buffer, srcOff int, dst rt.Mat) {
@@ -574,6 +617,7 @@ func (c *ctx) UnpackTranspose(src rt.Buffer, srcOff int, dst rt.Mat) {
 	}
 	mat.UnpackTransposeFrom(dm, s[srcOff:srcOff+need], 0, 0, dst.Rows, dst.Cols)
 	c.stats.PackTime += time.Since(t0).Seconds()
+	c.span(obs.KindPack, t0)
 }
 
 // ChecksumRegion checksums the rows x cols region at element off of rank's
@@ -623,4 +667,5 @@ var (
 	_ rt.Ctx            = (*ctx)(nil)
 	_ rt.KernelTuner    = (*ctx)(nil)
 	_ rt.BufferReleaser = (*ctx)(nil)
+	_ rt.Recorded       = (*ctx)(nil)
 )

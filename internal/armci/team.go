@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 )
 
@@ -113,11 +114,28 @@ func runRank(job *teamJob, c *ctx) {
 			job.r.mbox.abort()
 		}
 	}()
+	// One job span per rank, wake to unwind (closure defer so the end time
+	// is read at unwind, not at defer registration). Against the recorder's
+	// shared epoch, successive jobs on a persistent team line up on one
+	// serving timeline.
+	jt0 := c.spanStart()
+	defer func() { c.span(obs.KindJob, jt0) }()
 	job.body(c)
 }
 
 // Topo returns the team's topology.
 func (t *Team) Topo() rt.Topology { return t.topo }
+
+// SetRecorder attaches (or, with nil, detaches) an obs.Recorder to every
+// rank: subsequent jobs emit wall-clock spans onto lane == rank. Must be
+// called between jobs (Run serializes on the same mutex).
+func (t *Team) SetRecorder(r *obs.Recorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.ctxs {
+		c.rec = r
+	}
+}
 
 // Run executes body once per rank and returns per-rank stats, like the
 // package-level Run but on the parked goroutines.
@@ -279,3 +297,20 @@ func (o OneShot) Run(body func(rt.Ctx)) ([]*rt.Stats, error) {
 }
 
 var _ rt.Runner = OneShot{}
+
+// RunTraced is the one-shot Run with an obs.Recorder attached: every rank
+// emits wall-clock spans (gemm, wait, get/put, pack, barrier, job) onto its
+// lane. The recorder should have at least topo.NProcs lanes; unbounded
+// lanes (perLaneCap <= 0) are the right shape for a single traced run.
+func RunTraced(topo rt.Topology, rec *obs.Recorder, body func(rt.Ctx)) ([]*rt.Stats, error) {
+	t, err := NewTeam(topo)
+	if err != nil {
+		return nil, err
+	}
+	t.SetRecorder(rec)
+	stats, err := t.Run(body)
+	if cerr := t.Close(); err == nil {
+		err = cerr
+	}
+	return stats, err
+}

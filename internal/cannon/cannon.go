@@ -119,14 +119,9 @@ func Multiply(c rt.Ctx, g *grid.Grid, d Dims, ga, gb, gc rt.Global) error {
 			down, tagShiftB+2*(s%2), bufB[nxt], 0, wNextB*nLoc)
 		cur = nxt
 	}
-	if mLoc > 0 && nLoc > 0 && !wroteC {
-		// All chunks empty cannot happen for K > 0, but keep C defined.
-		c.Gemm(1,
-			rt.Mat{Buf: cLocal, LD: nLoc, Rows: mLoc, Cols: 0},
-			rt.Mat{Buf: cLocal, LD: nLoc, Rows: 0, Cols: nLoc},
-			0,
-			rt.Mat{Buf: cLocal, LD: nLoc, Rows: mLoc, Cols: nLoc})
-	}
+	// Over the p steps each rank cycles through every k-chunk, and for K > 0
+	// (validated above) at least one chunk is non-empty, so every rank with a
+	// local C tile has written it (beta=0 on its first gemm) by this point.
 	c.Barrier()
 	return nil
 }

@@ -154,3 +154,22 @@ func TestCannonOnSimEngine(t *testing.T) {
 		t.Fatal("no virtual time")
 	}
 }
+
+// TestCannonSingleRankGrid pins the 1x1-grid path: the skew degenerates to
+// an identity Pack copy, and the whole multiply is one local gemm.
+func TestCannonSingleRankGrid(t *testing.T) {
+	check(t, 1, Dims{M: 1, N: 1, K: 1})
+	check(t, 1, Dims{M: 7, N: 3, K: 5})
+}
+
+// TestCannonEmptyChunks pins the empty-k-chunk edge the removed defensive
+// fallback was guarding: with K < p some steps carry zero-width chunks, but
+// every rank still meets a non-empty chunk within its p steps, so C is
+// written (with beta=0 first) exactly once per tile.
+func TestCannonEmptyChunks(t *testing.T) {
+	check(t, 2, Dims{M: 8, N: 8, K: 1})  // chunks 1,0
+	check(t, 3, Dims{M: 9, N: 9, K: 2})  // chunks 1,1,0
+	check(t, 4, Dims{M: 8, N: 8, K: 3})  // chunks 1,1,1,0
+	check(t, 2, Dims{M: 1, N: 1, K: 1})  // every dimension below the grid
+	check(t, 3, Dims{M: 2, N: 2, K: 1})  // ranks with empty C tiles too
+}

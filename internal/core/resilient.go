@@ -96,9 +96,14 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 		remaining = append(remaining[:pos], remaining[pos+1:]...)
 		return ti
 	}
+	rec := rt.FindRecorder(c)
 	issue := func(ti, slot int) inflight {
 		t := &tasks[ti]
 		f := inflight{ti: ti, slot: slot}
+		if t.ADirect && t.BDirect {
+			return f
+		}
+		t0 := issueStart(rec)
 		if !t.ADirect {
 			r := aRegion(t)
 			f.ha = c.NbGetSub(ga, r.owner, r.off, r.ld, r.rows, r.cols, bufsA[slot], 0)
@@ -107,6 +112,7 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 			r := bRegion(t)
 			f.hb = c.NbGetSub(gb, r.owner, r.off, r.ld, r.rows, r.cols, bufsB[slot], 0)
 		}
+		issueSpan(rec, me, t0)
 		return f
 	}
 

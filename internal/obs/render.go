@@ -1,0 +1,120 @@
+package obs
+
+// Event analysis and text rendering shared by both engines: per-kind busy
+// summaries, fixed-width rank timelines, and the paper's overlap ratio.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates per-kind busy time (seconds) over all events, keyed by
+// the kind's stable name.
+func Summary(events []Event) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range events {
+		out[e.Kind.String()] += e.Duration()
+	}
+	return out
+}
+
+// Timeline renders per-lane activity bars: one row per lane, `width`
+// character cells spanning [0, horizon] seconds, each cell showing the glyph
+// of the last event covering it ('.' = idle). This is the pipeline view the
+// paper's Figure-style overlap plots reduce to in a terminal.
+func Timeline(events []Event, lanes, width int, horizon float64) string {
+	if horizon <= 0 || width <= 0 {
+		return ""
+	}
+	byLane := make([][]Event, lanes)
+	for _, e := range events {
+		if e.Rank >= 0 && e.Rank < lanes {
+			byLane[e.Rank] = append(byLane[e.Rank], e)
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < lanes; r++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		sort.SliceStable(byLane[r], func(i, j int) bool { return byLane[r][i].Start < byLane[r][j].Start })
+		for _, e := range byLane[r] {
+			lo := int(e.Start / horizon * float64(width))
+			hi := int(e.End / horizon * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i >= 0; i++ {
+				row[i] = e.Kind.Glyph()
+			}
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
+	}
+	return b.String()
+}
+
+// OverlapRatio computes the paper's overlap metric from traced events: how
+// much of the communication latency was hidden behind dgemm during the
+// pipelined phase. Per lane, the window is [first gemm start, last gemm end]
+// — the steady state where the algorithm is supposed to be overlapping —
+// and within it wait time is the KindWait total and compute time the
+// KindGemm total. The ratio is 1 - wait/(wait+compute), aggregated over
+// lanes: 1.0 means every transfer completed behind a dgemm, 0.0 means the
+// ranks computed nothing while waiting.
+//
+// Returns (wait seconds, compute seconds, ratio). Ratio is 0 when no gemm
+// events exist.
+func OverlapRatio(events []Event) (wait, compute, ratio float64) {
+	type window struct {
+		lo, hi float64
+		seen   bool
+	}
+	win := map[int]*window{}
+	for _, e := range events {
+		if e.Kind != KindGemm {
+			continue
+		}
+		w := win[e.Rank]
+		if w == nil {
+			w = &window{lo: e.Start, hi: e.End, seen: true}
+			win[e.Rank] = w
+			continue
+		}
+		if e.Start < w.lo {
+			w.lo = e.Start
+		}
+		if e.End > w.hi {
+			w.hi = e.End
+		}
+	}
+	for _, e := range events {
+		w := win[e.Rank]
+		if w == nil {
+			continue
+		}
+		switch e.Kind {
+		case KindGemm:
+			compute += e.Duration()
+		case KindWait:
+			// Clip the wait to the lane's pipelined window: waits before the
+			// first gemm (initial fetch) or after the last are startup/drain,
+			// not failed overlap.
+			lo, hi := e.Start, e.End
+			if lo < w.lo {
+				lo = w.lo
+			}
+			if hi > w.hi {
+				hi = w.hi
+			}
+			if hi > lo {
+				wait += hi - lo
+			}
+		}
+	}
+	if wait+compute > 0 {
+		ratio = 1 - wait/(wait+compute)
+	}
+	return wait, compute, ratio
+}

@@ -16,7 +16,11 @@
 // performance-model engine reproducing the paper's platforms).
 package rt
 
-import "fmt"
+import (
+	"fmt"
+
+	"srumma/internal/obs"
+)
 
 // Buffer is an opaque handle to a contiguous run of float64 elements. The
 // real engine backs it with an actual slice; the sim engine tracks only its
@@ -154,61 +158,39 @@ func FindBufferReleaser(c Ctx) BufferReleaser {
 	return nil
 }
 
+// Recorded is an optional capability of a Ctx: exposing the obs.Recorder
+// this process's spans land in. Algorithm layers that want to emit their
+// own spans (e.g. the executor's fetch-issue intervals) discover it with
+// FindRecorder; the result may be nil, which obs treats as disabled for
+// free.
+type Recorded interface {
+	// ObsRecorder returns the recorder attached to this process, or nil
+	// when tracing is off.
+	ObsRecorder() *obs.Recorder
+}
+
+// FindRecorder walks c's Unwrap chain and returns the attached recorder, or
+// nil when no layer records (a valid, zero-cost recorder per obs).
+func FindRecorder(c Ctx) *obs.Recorder {
+	for c != nil {
+		if r, ok := c.(Recorded); ok {
+			return r.ObsRecorder()
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		c = u.Unwrap()
+	}
+	return nil
+}
+
 // Stats accumulates per-process communication and computation accounting.
+// It is an alias of the observability spine's canonical counter block, so
+// engines, /metrics exporters and benchmark dumps all share one definition.
 // Times are in engine seconds (wall for the real engine, virtual for the
 // sim engine).
-type Stats struct {
-	BytesShared int64 // one-sided bytes moved within a shared-memory domain
-	BytesRemote int64 // one-sided bytes moved between domains (RMA)
-	GetsShared  int64
-	GetsRemote  int64
-	Puts        int64
-	Msgs        int64 // two-sided messages sent
-	MsgBytes    int64
-	Flops       float64
-	ComputeTime float64
-	WaitTime    float64 // time blocked in Wait/Recv/Get
-	PackTime    float64
-	BarrierTime float64
-	StealTime   float64 // CPU time stolen servicing non-zero-copy remote ops
-	// ScratchBytes counts local scratch allocated via LocalBuf — the
-	// algorithm's memory footprint beyond the distributed operands
-	// themselves (communication buffers, panels, redistribution staging).
-	ScratchBytes int64
-
-	// Fault-injection and recovery accounting, populated only when the
-	// internal/faults chaos layer wraps the engine (zero otherwise).
-	FaultsInjected  int64 // faults the injector planted into this rank's ops
-	FaultRetries    int64 // one-sided ops re-issued after a timed-out transfer
-	FaultRefetches  int64 // one-sided ops re-issued after a checksum mismatch
-	ChecksumErrors  int64 // corrupted payloads detected end-to-end
-	StragglerSteals int64 // tasks executed out of order to dodge a slow rank
-	DegradedMode    int64 // 1 once the rank fell back to blocking transfers
-}
-
-// Add accumulates o into s.
-func (s *Stats) Add(o *Stats) {
-	s.BytesShared += o.BytesShared
-	s.BytesRemote += o.BytesRemote
-	s.GetsShared += o.GetsShared
-	s.GetsRemote += o.GetsRemote
-	s.Puts += o.Puts
-	s.Msgs += o.Msgs
-	s.MsgBytes += o.MsgBytes
-	s.Flops += o.Flops
-	s.ComputeTime += o.ComputeTime
-	s.WaitTime += o.WaitTime
-	s.PackTime += o.PackTime
-	s.BarrierTime += o.BarrierTime
-	s.StealTime += o.StealTime
-	s.ScratchBytes += o.ScratchBytes
-	s.FaultsInjected += o.FaultsInjected
-	s.FaultRetries += o.FaultRetries
-	s.FaultRefetches += o.FaultRefetches
-	s.ChecksumErrors += o.ChecksumErrors
-	s.StragglerSteals += o.StragglerSteals
-	s.DegradedMode += o.DegradedMode
-}
+type Stats = obs.Meters
 
 // Topology describes how ranks map onto physical nodes and shared-memory
 // domains. On clusters a domain is an SMP node; on the SGI Altix and Cray X1

@@ -28,8 +28,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"srumma/internal/obs"
 )
 
 var (
@@ -105,6 +106,15 @@ type Config struct {
 	// Now is the clock used for deadlines and aging (default time.Now;
 	// injectable for tests).
 	Now func() time.Time
+	// Metrics is the registry the scheduler's counters live in (names
+	// "sched.*"). A private registry is created when nil; either way
+	// Scheduler.Registry returns the one in use, so the serving layer can
+	// export scheduler and server metrics from one namespace.
+	Metrics *obs.Registry
+	// Trace receives queue-wait and dispatch spans on lane TraceLane when
+	// non-nil. Tracing off (nil, the default) costs nothing.
+	Trace     *obs.Recorder
+	TraceLane int
 }
 
 func (c Config) fill() Config {
@@ -160,26 +170,30 @@ type Scheduler struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
-	inflight atomic.Int64 // admitted and not yet finished
+	// Counters live in an obs.Registry (cfg.Metrics or a private one) under
+	// "sched.*" names; the struct caches the pointers so hot paths never
+	// take the registry lock.
+	reg      *obs.Registry
+	inflight *obs.Gauge // admitted and not yet finished
 
-	submitted       atomic.Uint64
-	rejected        atomic.Uint64
-	completed       atomic.Uint64
-	failed          atomic.Uint64
-	cancelled       atomic.Uint64
-	dispatches      atomic.Uint64
-	dispatchedTasks atomic.Uint64
-	maxBatch        atomic.Int64
-	requeued        atomic.Uint64
-	retriesDropped  atomic.Uint64
-	expired         atomic.Uint64
-	misses          atomic.Uint64
-	starved         atomic.Uint64
-	grown           atomic.Uint64
-	shrunk          atomic.Uint64
-	replaced        atomic.Uint64
-	growFailed      atomic.Uint64
-	served          [NumClasses]atomic.Uint64
+	submitted       *obs.Counter
+	rejected        *obs.Counter
+	completed       *obs.Counter
+	failed          *obs.Counter
+	cancelled       *obs.Counter
+	dispatches      *obs.Counter
+	dispatchedTasks *obs.Counter
+	maxBatch        *obs.Counter // running maximum via RaiseTo
+	requeued        *obs.Counter
+	retriesDropped  *obs.Counter
+	expired         *obs.Counter
+	misses          *obs.Counter
+	starved         *obs.Counter
+	grown           *obs.Counter
+	shrunk          *obs.Counter
+	replaced        *obs.Counter
+	growFailed      *obs.Counter
+	served          [NumClasses]*obs.Counter
 }
 
 // New builds a scheduler and spins up MinWorkers workers synchronously (a
@@ -189,10 +203,36 @@ func New(cfg Config) (*Scheduler, error) {
 		return nil, errors.New("sched: Config.NewWorker and Config.Exec are required")
 	}
 	cfg = cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Scheduler{
-		cfg:   cfg,
-		ready: make(chan struct{}, cfg.QueueCap),
-		stop:  make(chan struct{}),
+		cfg:             cfg,
+		ready:           make(chan struct{}, cfg.QueueCap),
+		stop:            make(chan struct{}),
+		reg:             reg,
+		inflight:        reg.Gauge("sched.in_flight"),
+		submitted:       reg.Counter("sched.submitted"),
+		rejected:        reg.Counter("sched.rejected"),
+		completed:       reg.Counter("sched.completed"),
+		failed:          reg.Counter("sched.failed"),
+		cancelled:       reg.Counter("sched.cancelled"),
+		dispatches:      reg.Counter("sched.dispatches"),
+		dispatchedTasks: reg.Counter("sched.dispatched_tasks"),
+		maxBatch:        reg.Counter("sched.max_batch"),
+		requeued:        reg.Counter("sched.requeued"),
+		retriesDropped:  reg.Counter("sched.retries_exhausted"),
+		expired:         reg.Counter("sched.expired_before_run"),
+		misses:          reg.Counter("sched.deadline_misses"),
+		starved:         reg.Counter("sched.starvation_promotions"),
+		grown:           reg.Counter("sched.pool_grown"),
+		shrunk:          reg.Counter("sched.pool_shrunk"),
+		replaced:        reg.Counter("sched.pool_replaced"),
+		growFailed:      reg.Counter("sched.pool_grow_failed"),
+	}
+	for c := 0; c < NumClasses; c++ {
+		s.served[c] = reg.Counter("sched.served." + Class(c).String())
 	}
 	initial := make([]Worker, 0, cfg.MinWorkers)
 	for i := 0; i < cfg.MinWorkers; i++ {
@@ -212,6 +252,11 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	return s, nil
 }
+
+// Registry returns the obs.Registry holding the scheduler's "sched.*"
+// counters — cfg.Metrics when one was provided, a private registry
+// otherwise.
+func (s *Scheduler) Registry() *obs.Registry { return s.reg }
 
 // Workers returns the current pool size.
 func (s *Scheduler) Workers() int {
@@ -364,6 +409,10 @@ func (s *Scheduler) popBatch(buf []*Task) []*Task {
 		}
 		s.q.popHead(c)
 		head.attempts.Add(1)
+		if s.cfg.Trace != nil {
+			// Queue-wait span: admission (enq) to dispatch, on the sched lane.
+			s.cfg.Trace.RecordWall(s.cfg.TraceLane, obs.KindQueue, head.enq, now)
+		}
 		buf = append(buf, head)
 		if head.Cost > 1 {
 			cost += head.Cost
@@ -446,14 +495,19 @@ func (s *Scheduler) runWorker(w Worker) {
 				continue
 			}
 		}
-		out := s.cfg.Exec(w, batch)
+		// Count the dispatch when it is issued, not when Exec returns:
+		// tasks Finish() inside Exec, so an observer woken by a completion
+		// must already see the dispatch that produced it in the counters.
 		s.dispatches.Add(1)
-		s.dispatchedTasks.Add(uint64(len(batch)))
-		for n := int64(len(batch)); ; {
-			cur := s.maxBatch.Load()
-			if n <= cur || s.maxBatch.CompareAndSwap(cur, n) {
-				break
-			}
+		s.dispatchedTasks.Add(int64(len(batch)))
+		s.maxBatch.RaiseTo(int64(len(batch)))
+		var t0 time.Time
+		if s.cfg.Trace != nil {
+			t0 = s.now()
+		}
+		out := s.cfg.Exec(w, batch)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.RecordWall(s.cfg.TraceLane, obs.KindBatch, t0, s.now())
 		}
 		s.settle(out)
 		if out.ReplaceWorker {

@@ -55,31 +55,31 @@ func (s *Scheduler) Snapshot() Snapshot {
 
 	served := make(map[string]uint64, NumClasses)
 	for c := 0; c < NumClasses; c++ {
-		served[Class(c).String()] = s.served[c].Load()
+		served[Class(c).String()] = uint64(s.served[c].Load())
 	}
 	snap := Snapshot{
 		Workers:              workers,
 		Queued:               queued,
 		InFlight:             s.inflight.Load(),
 		QueuedByClass:        byClass,
-		Submitted:            s.submitted.Load(),
-		Rejected:             s.rejected.Load(),
-		Completed:            s.completed.Load(),
-		Failed:               s.failed.Load(),
-		Cancelled:            s.cancelled.Load(),
+		Submitted:            uint64(s.submitted.Load()),
+		Rejected:             uint64(s.rejected.Load()),
+		Completed:            uint64(s.completed.Load()),
+		Failed:               uint64(s.failed.Load()),
+		Cancelled:            uint64(s.cancelled.Load()),
 		ServedByClass:        served,
-		Dispatches:           s.dispatches.Load(),
-		DispatchedTasks:      s.dispatchedTasks.Load(),
+		Dispatches:           uint64(s.dispatches.Load()),
+		DispatchedTasks:      uint64(s.dispatchedTasks.Load()),
 		MaxBatch:             s.maxBatch.Load(),
-		DeadlineMisses:       s.misses.Load(),
-		ExpiredBeforeRun:     s.expired.Load(),
-		StarvationPromotions: s.starved.Load(),
-		Requeued:             s.requeued.Load(),
-		RetriesExhausted:     s.retriesDropped.Load(),
-		PoolGrown:            s.grown.Load(),
-		PoolShrunk:           s.shrunk.Load(),
-		PoolReplaced:         s.replaced.Load(),
-		PoolGrowFailed:       s.growFailed.Load(),
+		DeadlineMisses:       uint64(s.misses.Load()),
+		ExpiredBeforeRun:     uint64(s.expired.Load()),
+		StarvationPromotions: uint64(s.starved.Load()),
+		Requeued:             uint64(s.requeued.Load()),
+		RetriesExhausted:     uint64(s.retriesDropped.Load()),
+		PoolGrown:            uint64(s.grown.Load()),
+		PoolShrunk:           uint64(s.shrunk.Load()),
+		PoolReplaced:         uint64(s.replaced.Load()),
+		PoolGrowFailed:       uint64(s.growFailed.Load()),
 	}
 	if snap.Dispatches > 0 {
 		snap.BatchOccupancy = float64(snap.DispatchedTasks) / float64(snap.Dispatches)

@@ -67,11 +67,18 @@ func (s *Server) newScheduler() (*sched.Scheduler, error) {
 			sched.ClassInteractive: s.cfg.InteractiveWeight,
 			sched.ClassBatch:       s.cfg.BatchWeight,
 		},
+		// One registry backs the whole service: the scheduler's "sched.*"
+		// instruments live next to the serving layer's "server.*" ones, and
+		// its queue-wait/batch spans land on the recorder's sched lane.
+		Metrics:   s.met.reg,
+		Trace:     s.rec,
+		TraceLane: s.cfg.NProcs + 1,
 		NewWorker: func() (sched.Worker, error) {
 			tm, err := armci.NewTeam(s.topo)
 			if err != nil {
 				return nil, err
 			}
+			tm.SetRecorder(s.rec)
 			return &teamWorker{tm: tm}, nil
 		},
 		Exec: s.schedExec,

@@ -1,86 +1,21 @@
 package server
 
 // Serving metrics: monotonic counters, gauges derived from the admission
-// machinery, and latency quantiles from a streaming log-bucketed histogram.
-// Everything is O(1) per request and bounded in memory, so the metrics path
-// cannot become the bottleneck it is supposed to observe.
+// machinery, and latency quantiles from streaming log-bucketed histograms.
+// All instruments live in an obs.Registry shared with the workload
+// scheduler (names "server.*" and "sched.*"), so /metrics is a view over
+// the same observability spine the engines trace into — one counter model
+// across the stack. Everything is O(1) per request and bounded in memory,
+// so the metrics path cannot become the bottleneck it is supposed to
+// observe.
 
 import (
-	"math"
 	"sync"
 	"time"
 
+	"srumma/internal/obs"
 	"srumma/internal/sched"
 )
-
-// Histogram buckets are geometric: bucket i covers latencies in
-// [histBase*histGrowth^(i-1), histBase*histGrowth^i), with bucket 0
-// catching everything below histBase. 96 buckets at 12% growth span 50us
-// to ~2.7h, which is wider than any admissible request.
-const (
-	histBuckets = 96
-	histBase    = 50e-6
-	histGrowth  = 1.12
-)
-
-// histogram is a streaming latency histogram. All methods are
-// mutex-guarded; contention is negligible at HTTP request rates.
-type histogram struct {
-	counts [histBuckets]uint64
-	total  uint64
-	sum    float64
-	max    float64
-}
-
-func (h *histogram) observe(seconds float64) {
-	i := 0
-	if seconds >= histBase {
-		i = 1 + int(math.Log(seconds/histBase)/math.Log(histGrowth))
-		if i >= histBuckets {
-			i = histBuckets - 1
-		}
-	}
-	h.counts[i]++
-	h.total++
-	h.sum += seconds
-	if seconds > h.max {
-		h.max = seconds
-	}
-}
-
-// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
-// bucket containing it — a deliberate over-estimate, never flattering.
-func (h *histogram) quantile(q float64) float64 {
-	if h.total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(h.total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			if i == 0 {
-				return histBase
-			}
-			ub := histBase * math.Pow(histGrowth, float64(i))
-			if ub > h.max && h.max > 0 {
-				return h.max
-			}
-			return ub
-		}
-	}
-	return h.max
-}
-
-func (h *histogram) mean() float64 {
-	if h.total == 0 {
-		return 0
-	}
-	return h.sum / float64(h.total)
-}
 
 // RouteStats is the per-execution-tier slice of a metrics snapshot.
 type RouteStats struct {
@@ -130,58 +65,30 @@ type MetricsSnapshot struct {
 	Sched *sched.Snapshot `json:"sched,omitempty"`
 }
 
-// rateWindow counts ok-completions in a ring of 1-second buckets, giving a
-// recent-throughput estimate that is O(1) per request and immune to
-// uptime averaging (a burst an hour ago must not price Retry-After now).
-const rateWindowSecs = 8
-
-type rateWindow struct {
-	counts [rateWindowSecs]uint64
-	epochs [rateWindowSecs]int64 // unix second each bucket last belonged to
-}
-
-func (rw *rateWindow) record(now time.Time) {
-	sec := now.Unix()
-	i := int(sec % rateWindowSecs)
-	if rw.epochs[i] != sec {
-		rw.epochs[i] = sec
-		rw.counts[i] = 0
-	}
-	rw.counts[i]++
-}
-
-// rps returns completions per second over the window, counting only
-// buckets young enough to still be inside it.
-func (rw *rateWindow) rps(now time.Time) float64 {
-	sec := now.Unix()
-	var n uint64
-	for i := 0; i < rateWindowSecs; i++ {
-		if sec-rw.epochs[i] < rateWindowSecs {
-			n += rw.counts[i]
-		}
-	}
-	return float64(n) / rateWindowSecs
-}
-
+// metrics is the serving layer's instrument block: cached pointers into the
+// shared registry, so hot paths never take the registry's lock.
 type metrics struct {
 	start    time.Time
 	queueCap int
 
-	mu            sync.Mutex
-	admitted      uint64
-	completed     uint64
-	rejected      uint64
-	errors        uint64
-	cancelled     uint64
-	teamsReplaced uint64
-	inFlight      int
-	executing     int
-	flops         float64
-	overall       histogram
-	routes        map[string]*histogram
-	classes       map[string]*histogram
-	rate          rateWindow
+	reg           *obs.Registry
+	admitted      *obs.Counter
+	completed     *obs.Counter
+	rejected      *obs.Counter
+	errors        *obs.Counter
+	cancelled     *obs.Counter
+	teamsReplaced *obs.Counter
+	inFlight      *obs.Gauge
+	executing     *obs.Gauge
+	flops         *obs.FloatCounter
+	overall       *obs.Histogram
+	routes        map[string]*obs.Histogram
+	classes       map[string]*obs.Histogram
+	rate          obs.RateWindow
 
+	// mu guards schedSnap, which is installed after construction in
+	// scheduler mode.
+	mu sync.Mutex
 	// schedSnap, when set, sources the queue/executing gauges and the Sched
 	// section from the workload scheduler instead of the FIFO admission
 	// counters.
@@ -189,34 +96,43 @@ type metrics struct {
 }
 
 func newMetrics(queueCap int) *metrics {
+	reg := obs.NewRegistry()
 	return &metrics{
-		start:    time.Now(),
-		queueCap: queueCap,
-		routes:   map[string]*histogram{routeSmall: {}, routeSRUMMA: {}},
-		classes: map[string]*histogram{
-			sched.ClassInteractive.String(): {},
-			sched.ClassBatch.String():       {},
+		start:         time.Now(),
+		queueCap:      queueCap,
+		reg:           reg,
+		admitted:      reg.Counter("server.admitted"),
+		completed:     reg.Counter("server.completed"),
+		rejected:      reg.Counter("server.rejected_429"),
+		errors:        reg.Counter("server.errors"),
+		cancelled:     reg.Counter("server.cancelled"),
+		teamsReplaced: reg.Counter("server.teams_replaced"),
+		inFlight:      reg.Gauge("server.in_flight"),
+		executing:     reg.Gauge("server.executing"),
+		flops:         reg.Float("server.flops"),
+		overall:       reg.Histogram("server.latency"),
+		routes: map[string]*obs.Histogram{
+			routeSmall:  reg.Histogram("server.latency.route." + routeSmall),
+			routeSRUMMA: reg.Histogram("server.latency.route." + routeSRUMMA),
+		},
+		classes: map[string]*obs.Histogram{
+			sched.ClassInteractive.String(): reg.Histogram("server.latency.class." + sched.ClassInteractive.String()),
+			sched.ClassBatch.String():       reg.Histogram("server.latency.class." + sched.ClassBatch.String()),
 		},
 	}
 }
 
 func (m *metrics) admit() {
-	m.mu.Lock()
-	m.admitted++
-	m.inFlight++
-	m.mu.Unlock()
+	m.admitted.Inc()
+	m.inFlight.Add(1)
 }
 
 func (m *metrics) reject() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
+	m.rejected.Inc()
 }
 
 func (m *metrics) execStart() {
-	m.mu.Lock()
-	m.executing++
-	m.mu.Unlock()
+	m.executing.Add(1)
 }
 
 // finish settles one admitted request. route is "" for requests that never
@@ -224,42 +140,52 @@ func (m *metrics) execStart() {
 // queued); class labels the workload class; outcome is one of "ok",
 // "error", "cancelled".
 func (m *metrics) finish(route, class string, outcome string, latency time.Duration, flops float64, executed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.inFlight--
+	m.inFlight.Add(-1)
 	if executed {
-		m.executing--
+		m.executing.Add(-1)
 	}
 	switch outcome {
 	case "ok":
-		m.completed++
-		m.flops += flops
-		m.rate.record(time.Now())
-		m.overall.observe(latency.Seconds())
+		m.completed.Inc()
+		m.flops.Add(flops)
+		m.rate.Record(time.Now())
+		m.overall.Observe(latency.Seconds())
 		if h := m.routes[route]; h != nil {
-			h.observe(latency.Seconds())
+			h.Observe(latency.Seconds())
 		}
 		if h := m.classes[class]; h != nil {
-			h.observe(latency.Seconds())
+			h.Observe(latency.Seconds())
 		}
 	case "cancelled":
-		m.cancelled++
+		m.cancelled.Inc()
 	default:
-		m.errors++
+		m.errors.Inc()
 	}
 }
 
 // recentRPS is the completion rate over the trailing window.
 func (m *metrics) recentRPS() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rate.rps(time.Now())
+	return m.rate.RPS(time.Now())
 }
 
 func (m *metrics) teamReplaced() {
+	m.teamsReplaced.Inc()
+}
+
+// setSchedSnap installs the scheduler's snapshot source (scheduler mode).
+func (m *metrics) setSchedSnap(f func() sched.Snapshot) {
 	m.mu.Lock()
-	m.teamsReplaced++
+	m.schedSnap = f
 	m.mu.Unlock()
+}
+
+func histStats(h *obs.Histogram) RouteStats {
+	return RouteStats{
+		Count:  h.Count(),
+		P50Ms:  h.Quantile(0.50) * 1e3,
+		P99Ms:  h.Quantile(0.99) * 1e3,
+		MeanMs: h.Mean() * 1e3,
+	}
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
@@ -268,52 +194,47 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	m.mu.Unlock()
 	var ss *sched.Snapshot
 	if schedSnap != nil {
-		snap := schedSnap() // outside m.mu: the scheduler has its own lock
+		snap := schedSnap() // the scheduler has its own locking
 		ss = &snap
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	up := time.Since(m.start).Seconds()
+	inFlight := int(m.inFlight.Load())
+	executing := int(m.executing.Load())
 	s := MetricsSnapshot{
 		UptimeSeconds: up,
-		Admitted:      m.admitted,
-		Completed:     m.completed,
-		Rejected:      m.rejected,
-		Errors:        m.errors,
-		Cancelled:     m.cancelled,
-		TeamsReplaced: m.teamsReplaced,
-		QueueDepth:    m.inFlight - m.executing,
-		Executing:     m.executing,
+		Admitted:      uint64(m.admitted.Load()),
+		Completed:     uint64(m.completed.Load()),
+		Rejected:      uint64(m.rejected.Load()),
+		Errors:        uint64(m.errors.Load()),
+		Cancelled:     uint64(m.cancelled.Load()),
+		TeamsReplaced: uint64(m.teamsReplaced.Load()),
+		QueueDepth:    inFlight - executing,
+		Executing:     executing,
 		QueueCap:      m.queueCap,
-		FlopsTotal:    m.flops,
-		LatencyP50Ms:  m.overall.quantile(0.50) * 1e3,
-		LatencyP90Ms:  m.overall.quantile(0.90) * 1e3,
-		LatencyP99Ms:  m.overall.quantile(0.99) * 1e3,
-		LatencyMeanMs: m.overall.mean() * 1e3,
-		LatencyMaxMs:  m.overall.max * 1e3,
-		RecentRPS:     m.rate.rps(time.Now()),
+		FlopsTotal:    m.flops.Load(),
+		LatencyP50Ms:  m.overall.Quantile(0.50) * 1e3,
+		LatencyP90Ms:  m.overall.Quantile(0.90) * 1e3,
+		LatencyP99Ms:  m.overall.Quantile(0.99) * 1e3,
+		LatencyMeanMs: m.overall.Mean() * 1e3,
+		LatencyMaxMs:  m.overall.Max() * 1e3,
+		RecentRPS:     m.rate.RPS(time.Now()),
 		Routes:        make(map[string]RouteStats, len(m.routes)),
 		Classes:       make(map[string]RouteStats, len(m.classes)),
 	}
+	// The two gauges are updated independently on the hot path, so a
+	// snapshot between the paired updates can transiently skew; clamp.
+	if s.QueueDepth < 0 {
+		s.QueueDepth = 0
+	}
 	if up > 0 {
-		s.ThroughputRPS = float64(m.completed) / up
-		s.GFlopsServed = m.flops / up / 1e9
+		s.ThroughputRPS = float64(s.Completed) / up
+		s.GFlopsServed = s.FlopsTotal / up / 1e9
 	}
 	for name, h := range m.routes {
-		s.Routes[name] = RouteStats{
-			Count:  h.total,
-			P50Ms:  h.quantile(0.50) * 1e3,
-			P99Ms:  h.quantile(0.99) * 1e3,
-			MeanMs: h.mean() * 1e3,
-		}
+		s.Routes[name] = histStats(h)
 	}
 	for name, h := range m.classes {
-		s.Classes[name] = RouteStats{
-			Count:  h.total,
-			P50Ms:  h.quantile(0.50) * 1e3,
-			P99Ms:  h.quantile(0.99) * 1e3,
-			MeanMs: h.mean() * 1e3,
-		}
+		s.Classes[name] = histStats(h)
 	}
 	if ss != nil {
 		// Under the scheduler the run queue lives in internal/sched, not in

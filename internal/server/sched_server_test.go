@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"srumma/internal/mat"
+	"srumma/internal/obs"
 	"srumma/internal/sched"
 )
 
@@ -438,27 +439,29 @@ func TestServerSchedClassValidation(t *testing.T) {
 	}
 }
 
-// TestRateWindow pins the recent-throughput estimator feeding Retry-After.
+// TestRateWindow pins the recent-throughput estimator feeding Retry-After
+// (the 8-second obs.RateWindow the serving layer uses).
 func TestRateWindow(t *testing.T) {
-	var rw rateWindow
+	const windowSecs = 8
+	var rw obs.RateWindow
 	now := time.Unix(5000, 0)
 	for i := 0; i < 40; i++ {
-		rw.record(now)
+		rw.Record(now)
 	}
-	if got := rw.rps(now); got != 40.0/rateWindowSecs {
-		t.Fatalf("rps = %g, want %g", got, 40.0/rateWindowSecs)
+	if got := rw.RPS(now); got != 40.0/windowSecs {
+		t.Fatalf("rps = %g, want %g", got, 40.0/windowSecs)
 	}
 	// Completions age out of the window.
-	later := now.Add((rateWindowSecs + 1) * time.Second)
-	if got := rw.rps(later); got != 0 {
+	later := now.Add((windowSecs + 1) * time.Second)
+	if got := rw.RPS(later); got != 0 {
 		t.Fatalf("rps after window = %g, want 0", got)
 	}
 	// Spread load: 1/sec for 8s is 1 rps.
-	var rw2 rateWindow
-	for i := 0; i < rateWindowSecs; i++ {
-		rw2.record(now.Add(time.Duration(i) * time.Second))
+	var rw2 obs.RateWindow
+	for i := 0; i < windowSecs; i++ {
+		rw2.Record(now.Add(time.Duration(i) * time.Second))
 	}
-	if got := rw2.rps(now.Add((rateWindowSecs - 1) * time.Second)); got != 1 {
+	if got := rw2.RPS(now.Add((windowSecs - 1) * time.Second)); got != 1 {
 		t.Fatalf("spread rps = %g, want 1", got)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"srumma/internal/driver"
 	"srumma/internal/grid"
 	"srumma/internal/mat"
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 	"srumma/internal/sched"
 )
@@ -76,6 +77,14 @@ type Config struct {
 	// KernelThreads is the per-rank local-dgemm worker count used when a
 	// request does not choose one; 0 keeps the engine default.
 	KernelThreads int
+
+	// TraceEvents, when positive, turns on always-on span tracing: every
+	// engine rank, the request handlers and the scheduler record into a
+	// per-lane ring buffer holding the most recent TraceEvents spans each,
+	// exported as Chrome trace JSON from GET /debug/trace. Zero (the
+	// default) disables tracing; the disabled path records nothing and
+	// allocates nothing.
+	TraceEvents int
 
 	// SchedMode selects the dispatch path: "sched" (default) runs admitted
 	// requests through the workload scheduler — batched small GEMMs,
@@ -169,6 +178,12 @@ type Server struct {
 	draining atomic.Bool
 	jobs     sync.WaitGroup // in-flight multiply handlers
 
+	// rec is the span recorder behind /debug/trace (nil when
+	// Config.TraceEvents is 0): lanes 0..NProcs-1 are engine ranks,
+	// lane NProcs the request handlers, lane NProcs+1 the scheduler.
+	rec       *obs.Recorder
+	laneNames []string
+
 	// testBatchHook holds a func(*sched.Task) tests install to block or
 	// crash dispatches deterministically; nil in production.
 	testBatchHook atomic.Value
@@ -196,6 +211,18 @@ func New(cfg Config) (*Server, error) {
 		g:    g,
 		met:  newMetrics(cfg.QueueCap),
 	}
+	if cfg.TraceEvents > 0 {
+		// One ring-buffered lane per engine rank plus one for the request
+		// handlers and one for the scheduler; every team in the pool shares
+		// the recorder, so /debug/trace is one timeline for the whole service.
+		s.rec = obs.NewRecorder(cfg.NProcs+2, cfg.TraceEvents)
+		s.laneNames = make([]string, cfg.NProcs+2)
+		for i := 0; i < cfg.NProcs; i++ {
+			s.laneNames[i] = "rank " + strconv.Itoa(i)
+		}
+		s.laneNames[cfg.NProcs] = "server"
+		s.laneNames[cfg.NProcs+1] = "sched"
+	}
 	switch cfg.SchedMode {
 	case "sched":
 		sc, err := s.newScheduler()
@@ -213,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 				s.closeTeams()
 				return nil, err
 			}
+			tm.SetRecorder(s.rec)
 			s.teams <- tm
 		}
 	default:
@@ -221,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	return s, nil
@@ -318,6 +347,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.met.snapshot())
 }
 
+// handleTrace dumps the span recorder as Chrome trace-event JSON (load the
+// body into chrome://tracing or Perfetto). The rings hold the most recent
+// Config.TraceEvents spans per lane, so the dump is a trailing window of
+// service activity, not an unbounded history.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "tracing disabled: start the server with TraceEvents > 0"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTraceNamed(w, s.rec.Events(), s.laneNames, "srumma serve")
+}
+
 // InfoResponse is the body of GET /v1/info: the deployment parameters an
 // operator or load balancer needs.
 type InfoResponse struct {
@@ -390,6 +432,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
+	}
+	if s.rec != nil {
+		t0 := time.Now()
+		defer func() { s.rec.RecordWall(s.cfg.NProcs, obs.KindRequest, t0, time.Now()) }()
 	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
@@ -627,6 +673,7 @@ func (s *Server) recycleTeam(tm *armci.Team, runErr error) {
 	if errors.As(runErr, &werr) && len(werr.Leaked) > 0 {
 		tm.Close() // returns the leak report again; already surfaced to the caller
 		if fresh, err := armci.NewTeam(s.topo); err == nil {
+			fresh.SetRecorder(s.rec)
 			s.met.teamReplaced()
 			s.teams <- fresh
 			return

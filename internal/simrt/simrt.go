@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"srumma/internal/machine"
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 	"srumma/internal/simnet"
 	"srumma/internal/vtime"
@@ -82,6 +83,7 @@ func run(prof machine.Profile, nprocs int, tr *Tracer, hook simnet.FaultHook, bo
 	if hook != nil {
 		net.SetFaultHook(hook)
 	}
+	tr.ensure(nprocs)
 	w := &world{
 		tr:        tr,
 		prof:      prof,
@@ -185,7 +187,7 @@ type ctx struct {
 }
 
 // trace records an activity interval ending now.
-func (c *ctx) trace(kind string, t0 vtime.Time) {
+func (c *ctx) trace(kind obs.Kind, t0 vtime.Time) {
 	c.w.tr.add(c.p.Rank(), kind, t0.Seconds(), c.p.Now().Seconds())
 }
 
@@ -267,7 +269,7 @@ func (c *ctx) NbGet(g rt.Global, rank, off, n int, dst rt.Buffer, dstOff int) rt
 		t0 := c.p.Now()
 		c.p.Wait(done)
 		c.stats.WaitTime += (c.p.Now() - t0).Seconds()
-		c.trace("copy", t0)
+		c.trace(obs.KindCopy, t0)
 		return &handle{h: done}
 	}
 	c.stats.BytesRemote += bytes
@@ -311,7 +313,7 @@ func (c *ctx) NbGetSub(g rt.Global, rank, off, ld, rows, cols int, dst rt.Buffer
 		t0 := c.p.Now()
 		c.p.Wait(done)
 		c.stats.WaitTime += (c.p.Now() - t0).Seconds()
-		c.trace("copy", t0)
+		c.trace(obs.KindCopy, t0)
 		return &handle{h: done}
 	}
 	c.stats.BytesRemote += bytes
@@ -463,14 +465,14 @@ func (c *ctx) Wait(h rt.Handle) {
 		t0 := c.p.Now()
 		c.p.Wait(sh.h)
 		c.stats.WaitTime += (c.p.Now() - t0).Seconds()
-		c.trace("wait", t0)
+		c.trace(obs.KindWait, t0)
 	}
 	if sh.postWait > 0 && !sh.settled {
 		sh.settled = true
 		c.stats.PackTime += sh.postWait.Seconds()
 		t0 := c.p.Now()
 		c.p.Advance(sh.postWait)
-		c.trace("pack", t0)
+		c.trace(obs.KindPack, t0)
 	}
 }
 
@@ -483,7 +485,7 @@ func (c *ctx) Barrier() {
 		c.p.Advance(vtime.FromSeconds(rounds * c.w.prof.MPILatency))
 	}
 	c.stats.BarrierTime += (c.p.Now() - t0).Seconds()
-	c.trace("barrier", t0)
+	c.trace(obs.KindBarrier, t0)
 }
 
 // gemmShape validates operand shapes and returns (m, n, k).
@@ -511,11 +513,11 @@ func (c *ctx) Gemm(alpha float64, a, b rt.Mat, beta float64, cm rt.Mat) {
 		c.stats.StealTime += s.Seconds()
 		t0 := c.p.Now()
 		c.p.Advance(s)
-		c.trace("steal", t0)
+		c.trace(obs.KindSteal, t0)
 	}
 	t0 := c.p.Now()
 	c.p.Advance(vtime.FromSeconds(t))
-	c.trace("gemm", t0)
+	c.trace(obs.KindGemm, t0)
 	c.stats.Flops += 2 * float64(m) * float64(n) * float64(k)
 	c.stats.ComputeTime += t
 }
@@ -527,7 +529,7 @@ func (c *ctx) copyCost(elems int) {
 	t0 := c.p.Now()
 	c.p.Wait(done)
 	c.stats.PackTime += (c.p.Now() - t0).Seconds()
-	c.trace("pack", t0)
+	c.trace(obs.KindPack, t0)
 }
 
 func (c *ctx) Pack(src rt.Mat, dst rt.Buffer, dstOff int) {

@@ -4,58 +4,64 @@ package simrt
 // (compute, communication waits, copies, barriers) from the virtual clock,
 // which cmd/srumma-trace renders as a pipeline view. Tracing is off in
 // normal runs so the harness pays nothing for it.
+//
+// The Tracer is a thin adapter over the shared observability spine
+// (internal/obs): events land in an obs.Recorder with one lane per rank,
+// and rendering/export delegate to obs so both engines produce identical
+// trace artifacts.
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"io"
 
 	"srumma/internal/machine"
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 	"srumma/internal/simnet"
 )
 
 // Event is one traced activity interval on one rank, in virtual seconds.
-type Event struct {
-	Rank       int
-	Kind       string // "gemm", "wait", "copy", "pack", "barrier", "steal"
-	Start, End float64
-}
-
-// Duration returns the event length in seconds.
-func (e Event) Duration() float64 { return e.End - e.Start }
+type Event = obs.Event
 
 // Tracer accumulates events from a traced run.
 type Tracer struct {
-	Events []Event
+	rec *obs.Recorder
 }
 
-func (tr *Tracer) add(rank int, kind string, start, end float64) {
-	if tr == nil || end <= start {
+// ensure sizes the underlying recorder for nprocs ranks (unbounded lanes —
+// a traced run keeps everything). Called by run before the job starts.
+func (tr *Tracer) ensure(nprocs int) {
+	if tr == nil || tr.rec != nil {
 		return
 	}
-	tr.Events = append(tr.Events, Event{Rank: rank, Kind: kind, Start: start, End: end})
+	tr.rec = obs.NewRecorder(nprocs, 0)
+}
+
+func (tr *Tracer) add(rank int, kind obs.Kind, start, end float64) {
+	if tr == nil {
+		return
+	}
+	tr.rec.Record(rank, kind, start, end)
+}
+
+// Events returns all recorded events, rank-major then start-ordered.
+func (tr *Tracer) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	return tr.rec.Events()
 }
 
 // ByRank returns the events of one rank in start order.
 func (tr *Tracer) ByRank(rank int) []Event {
-	var out []Event
-	for _, e := range tr.Events {
-		if e.Rank == rank {
-			out = append(out, e)
-		}
+	if tr == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	return tr.rec.ByLane(rank)
 }
 
 // Summary aggregates per-kind busy time over all ranks.
 func (tr *Tracer) Summary() map[string]float64 {
-	out := map[string]float64{}
-	for _, e := range tr.Events {
-		out[e.Kind] += e.Duration()
-	}
-	return out
+	return obs.Summary(tr.Events())
 }
 
 // Timeline renders rank timelines as fixed-width activity bars: one row
@@ -63,29 +69,14 @@ func (tr *Tracer) Summary() map[string]float64 {
 // g=gemm, w=wait, c=copy, p=pack, b=barrier, s=steal, '.'=idle. Later
 // events overwrite earlier ones within a cell.
 func (tr *Tracer) Timeline(nprocs, width int, horizon float64) string {
-	if horizon <= 0 || width <= 0 {
-		return ""
-	}
-	glyph := map[string]byte{"gemm": 'g', "wait": 'w', "copy": 'c', "pack": 'p', "barrier": 'b', "steal": 's'}
-	var b strings.Builder
-	for r := 0; r < nprocs; r++ {
-		row := make([]byte, width)
-		for i := range row {
-			row[i] = '.'
-		}
-		for _, e := range tr.ByRank(r) {
-			lo := int(e.Start / horizon * float64(width))
-			hi := int(e.End / horizon * float64(width))
-			if hi >= width {
-				hi = width - 1
-			}
-			for i := lo; i <= hi && i >= 0; i++ {
-				row[i] = glyph[e.Kind]
-			}
-		}
-		fmt.Fprintf(&b, "rank %3d |%s|\n", r, row)
-	}
-	return b.String()
+	return obs.Timeline(tr.Events(), nprocs, width, horizon)
+}
+
+// WriteChromeTrace writes the tracer's events as a Trace Event Format JSON
+// array (chrome://tracing, https://ui.perfetto.dev). Virtual seconds map to
+// trace microseconds.
+func (tr *Tracer) WriteChromeTrace(w io.Writer, nprocs int) error {
+	return obs.WriteChromeTrace(w, tr.Events(), nprocs, "srumma virtual-time run")
 }
 
 // RunTraced is Run with an event collector attached.

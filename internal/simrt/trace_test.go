@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"srumma/internal/obs"
 	"srumma/internal/rt"
 )
 
@@ -26,7 +27,7 @@ func TestTracerCollectsEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Events) == 0 {
+	if len(tr.Events()) == 0 {
 		t.Fatal("no events collected")
 	}
 	sum := tr.Summary()
@@ -34,7 +35,7 @@ func TestTracerCollectsEvents(t *testing.T) {
 		t.Fatalf("summary missing kinds: %v", sum)
 	}
 	// Events are consistent: within [0, Time], End >= Start, ranks valid.
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		if e.Start < 0 || e.End > res.Time+1e-12 || e.End < e.Start {
 			t.Fatalf("bad event %+v (run time %g)", e, res.Time)
 		}
@@ -55,7 +56,7 @@ func TestTracerCollectsEvents(t *testing.T) {
 	// Per-rank gemm trace must match the stats' compute time.
 	var gemm1 float64
 	for _, e := range ev {
-		if e.Kind == "gemm" {
+		if e.Kind == obs.KindGemm {
 			gemm1 += e.Duration()
 		}
 	}
