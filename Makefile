@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke verify repro chaos fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke verify repro chaos chaos-serve bench-recover fuzz clean
 
 all: build test
 
@@ -105,6 +105,22 @@ repro:
 chaos:
 	$(GO) run ./cmd/srumma-bench -chaos
 	$(GO) test -count=1 -run TestServerSchedChaosCrashRequeue ./internal/server
+
+# End-to-end recovery gate, race-enabled: a real server under a seeded
+# fault plan (mid-compute rank crash + silent block corruption) must
+# return a bit-correct product for every accepted request, with the
+# recovery counters proving jobs were resumed (not restarted) and
+# corrupted blocks detected and recomputed. Covers sched and FIFO modes
+# plus the circuit-breaker 503 path.
+chaos-serve:
+	$(GO) test -race -count=1 -run 'TestChaosServe|TestBreakerServes503' ./internal/server
+
+# Crash-recovery benchmark: one planted mid-compute crash recovered by
+# ledger resume vs full restart; the resumed retry must re-execute
+# strictly fewer tasks and both products must be bit-identical to a
+# fault-free run. Recorded to BENCH_recover.json.
+bench-recover:
+	$(GO) run ./cmd/srumma-load -chaos -out BENCH_recover.json
 
 # Short fuzzing session over the numeric kernels, index math, and the
 # fault planner.

@@ -45,6 +45,7 @@ import (
 	"srumma/internal/armci"
 	"srumma/internal/core"
 	"srumma/internal/driver"
+	"srumma/internal/faults"
 	"srumma/internal/grid"
 	"srumma/internal/mat"
 	"srumma/internal/rt"
@@ -214,10 +215,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed for generated matrices")
 	maxRetries := flag.Int("max-retries", 100, "429 retry rounds per request before giving up")
 	benchSched := flag.Bool("bench-sched", false, "run the self-contained scheduler benchmark (ignores -addr) and exit")
+	benchChaos := flag.Bool("chaos", false, "run the self-contained crash-recovery benchmark (ignores -addr) and exit")
 	flag.Parse()
 
 	if *benchSched {
 		runBenchSched(*out, *seed)
+		return
+	}
+	if *benchChaos {
+		runBenchChaos(*out, *seed)
 		return
 	}
 
@@ -1043,4 +1049,275 @@ func runMixedMode(mode string, interactive, batch shape, pattern []classAssign, 
 		log.Fatalf("mixed bench (%s) shutdown: %v", mode, err)
 	}
 	return rep
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained crash-recovery benchmark (-chaos): BENCH_recover.json.
+
+const (
+	recoverProcs   = 4
+	recoverPPN     = 2
+	recoverDim     = 192
+	recoverTaskK   = 8
+	recoverSpan    = 6
+	recoverTimeout = 60 * time.Second
+)
+
+// ChaosArmReport is one recovery strategy applied to the same planted
+// crash: the failed first attempt plus the retry that completes the job.
+type ChaosArmReport struct {
+	// ReexecutedTasks is how many SRUMMA tasks the retry had to run:
+	// tasks_total minus what the ledger carried over.
+	ReexecutedTasks int `json:"reexecuted_tasks"`
+	// ResumedTasks is completed work the retry inherited from the ledger
+	// (zero for the restart arm by construction).
+	ResumedTasks  int     `json:"resumed_tasks"`
+	SalvagedRanks int     `json:"salvaged_ranks"`
+	CrashWallS    float64 `json:"crash_wall_s"`
+	RetryWallS    float64 `json:"retry_wall_s"`
+}
+
+// ChaosBenchReport is the BENCH_recover.json document: one seeded
+// mid-compute crash handled two ways — ledger resume over salvaged C
+// segments versus a from-scratch restart — with the recovered products
+// checked bit-identical to a fault-free run of the same engine config.
+type ChaosBenchReport struct {
+	NProcs     int    `json:"nprocs"`
+	Shape      string `json:"shape"`
+	MaxTaskK   int    `json:"max_task_k"`
+	Seed       uint64 `json:"seed"`
+	CrashRank  int    `json:"crash_rank"`
+	CrashOp    int    `json:"crash_op"`
+	TasksTotal int    `json:"tasks_total"`
+
+	Resumed ChaosArmReport `json:"resumed"`
+	Restart ChaosArmReport `json:"restart"`
+	// TaskSavingsX is restart re-execution over resumed re-execution: how
+	// much completed work the ledger+salvage path preserved.
+	TaskSavingsX float64 `json:"task_savings_x"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// chaosSalvage mirrors the serving layer's salvage map at the core level:
+// a panicking rank deposits its partial C segment on the unwind, and the
+// retry consumes it (take clears, so stale segments can never pair with a
+// newer ledger).
+type chaosSalvage struct {
+	mu  sync.Mutex
+	seg map[int][]float64
+}
+
+func (s *chaosSalvage) save(rank int, seg []float64) {
+	s.mu.Lock()
+	s.seg[rank] = seg
+	s.mu.Unlock()
+}
+
+func (s *chaosSalvage) take(rank int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg := s.seg[rank]
+	delete(s.seg, rank)
+	return seg
+}
+
+func (s *chaosSalvage) has(rank int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seg[rank] != nil
+}
+
+func (s *chaosSalvage) clear() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.seg)
+	s.seg = map[int][]float64{}
+	return n
+}
+
+// chaosAttempt runs one SRUMMA attempt, optionally under the shared fault
+// injector, salvaging every panicking rank's C segment exactly as the
+// serving layer does, and gathers C on success. sh and salv are nil for
+// the fault-free reference run.
+func chaosAttempt(topo rt.Topology, g *grid.Grid, d core.Dims, opts core.Options, sh *faults.Shared, salv *chaosSalvage, a, b *mat.Matrix) (*mat.Matrix, error) {
+	da, db, dc := core.Dists(g, d, opts.Case)
+	co := driver.NewCollect(topo.NProcs)
+	errs := make([]error, topo.NProcs)
+	_, err := armci.RunWithTimeout(topo, recoverTimeout, func(raw rt.Ctx) {
+		c := raw
+		if sh != nil {
+			c = faults.Resilient(sh.Wrap(raw), faults.RecoveryConfig{})
+		}
+		rank := c.Rank()
+		lr, lc := dc.LocalShape(rank)
+		var gc rt.Global
+		haveC := false
+		if salv != nil {
+			defer func() {
+				if p := recover(); p != nil {
+					if haveC {
+						if data := c.ReadBuf(c.Local(gc), 0, lr*lc); data != nil {
+							salv.save(rank, append([]float64(nil), data...))
+						}
+					}
+					panic(p)
+				}
+			}()
+		}
+		ga := driver.AllocBlock(c, da)
+		gb := driver.AllocBlock(c, db)
+		gc = driver.AllocBlock(c, dc)
+		haveC = true
+		driver.LoadBlock(c, da, ga, a)
+		driver.LoadBlock(c, db, gb, b)
+		if salv != nil {
+			if seg := salv.take(rank); seg != nil {
+				c.WriteBuf(c.Local(gc), 0, seg)
+			}
+		}
+		errs[rank] = core.MultiplyEx(c, g, d, opts, 1, 0, ga, gb, gc)
+		co.Deposit(c, driver.StoreBlock(c, dc, gc))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return dc.Gather(co.Blocks)
+}
+
+// runChaosArm executes the crash-then-retry experiment with one recovery
+// strategy. Both arms share the fault schedule (same seed, fresh latch):
+// attempt 1 always dies at the planted (rank, op); the resume arm then
+// resets only unsalvaged ranks and retries over the salvage, while the
+// restart arm discards everything the first attempt did.
+func runChaosArm(resume bool, topo rt.Topology, g *grid.Grid, d core.Dims, cfg faults.Config, a, b *mat.Matrix) (ChaosArmReport, *mat.Matrix, int, error) {
+	var rep ChaosArmReport
+	plan, err := faults.NewPlan(cfg, topo.NProcs)
+	if err != nil {
+		return rep, nil, 0, err
+	}
+	sh := faults.NewShared(plan)
+	jl := core.NewJobLedger(topo.NProcs)
+	salv := &chaosSalvage{seg: map[int][]float64{}}
+	opts := core.Options{Case: core.NN, Flavor: core.FlavorDirect, MaxTaskK: recoverTaskK, Ledger: jl}
+
+	t0 := time.Now()
+	if _, err := chaosAttempt(topo, g, d, opts, sh, salv, a, b); err == nil {
+		return rep, nil, 0, fmt.Errorf("planted compute crash did not fire")
+	}
+	rep.CrashWallS = time.Since(t0).Seconds()
+
+	if resume {
+		rep.SalvagedRanks = 0
+		for r := 0; r < topo.NProcs; r++ {
+			if salv.has(r) {
+				rep.SalvagedRanks++
+			} else {
+				jl.Reset(r)
+			}
+		}
+	} else {
+		for r := 0; r < topo.NProcs; r++ {
+			jl.Reset(r)
+		}
+		salv.clear()
+	}
+	rep.ResumedTasks = jl.Completed()
+	total := jl.Total()
+	rep.ReexecutedTasks = total - rep.ResumedTasks
+
+	t1 := time.Now()
+	got, err := chaosAttempt(topo, g, d, opts, sh, salv, a, b)
+	if err != nil {
+		return rep, nil, 0, fmt.Errorf("retry failed: %w", err)
+	}
+	rep.RetryWallS = time.Since(t1).Seconds()
+	return rep, got, total, nil
+}
+
+// runBenchChaos measures what ledger-based resume buys over a full restart
+// for one crashed job: the same seeded mid-compute crash is recovered both
+// ways and the retry's re-executed task count compared. Correctness bar:
+// both recovered products must be bit-identical to a fault-free run of the
+// identical engine configuration (same grid, MaxTaskK, task order).
+func runBenchChaos(out string, seed uint64) {
+	topo := rt.Topology{NProcs: recoverProcs, ProcsPerNode: recoverPPN}
+	if err := topo.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	g, err := grid.Square(recoverProcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := core.Dims{M: recoverDim, N: recoverDim, K: recoverDim}
+	da, db, _ := core.Dists(g, d, core.NN)
+	a := mat.Random(da.Rows, da.Cols, seed+100)
+	b := mat.Random(db.Rows, db.Cols, seed+101)
+
+	cfg := faults.Config{Seed: seed, ComputeCrash: true, ComputeCrashOpSpan: recoverSpan}
+	plan, err := faults.NewPlan(cfg, recoverProcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := ChaosBenchReport{
+		NProcs:   recoverProcs,
+		Shape:    shape{d.M, d.K, d.N}.String(),
+		MaxTaskK: recoverTaskK,
+		Seed:     seed,
+	}
+	rep.CrashRank, rep.CrashOp = plan.ComputeCrashPoint()
+
+	cleanOpts := core.Options{Case: core.NN, Flavor: core.FlavorDirect, MaxTaskK: recoverTaskK}
+	clean, err := chaosAttempt(topo, g, d, cleanOpts, nil, nil, a, b)
+	if err != nil {
+		log.Fatalf("fault-free reference run: %v", err)
+	}
+	want := mat.New(d.M, d.N)
+	if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
+		log.Fatal(err)
+	}
+	if diff := mat.MaxAbsDiff(clean, want); diff > 1e-10*float64(d.K) {
+		log.Fatalf("fault-free reference diverges from serial kernel: max diff %g", diff)
+	}
+
+	var resumedC, restartC *mat.Matrix
+	rep.Resumed, resumedC, rep.TasksTotal, err = runChaosArm(true, topo, g, d, cfg, a, b)
+	if err != nil {
+		log.Fatalf("resumed arm: %v", err)
+	}
+	var restartTotal int
+	rep.Restart, restartC, restartTotal, err = runChaosArm(false, topo, g, d, cfg, a, b)
+	if err != nil {
+		log.Fatalf("restart arm: %v", err)
+	}
+	if restartTotal != rep.TasksTotal {
+		log.Fatalf("task plans differ between arms: %d vs %d", rep.TasksTotal, restartTotal)
+	}
+	if rep.Resumed.ReexecutedTasks > 0 {
+		rep.TaskSavingsX = float64(rep.Restart.ReexecutedTasks) / float64(rep.Resumed.ReexecutedTasks)
+	}
+	rep.BitIdentical = true
+	for i := range clean.Data {
+		if resumedC.Data[i] != clean.Data[i] || restartC.Data[i] != clean.Data[i] {
+			rep.BitIdentical = false
+			break
+		}
+	}
+
+	writeJSONFile(&rep, out)
+	fmt.Printf("recover: crash at rank %d op %d; resumed retry re-executed %d/%d tasks (%d inherited, %d ranks salvaged) vs %d for full restart (%.2fx fewer; bit-identical %v)\n",
+		rep.CrashRank, rep.CrashOp, rep.Resumed.ReexecutedTasks, rep.TasksTotal,
+		rep.Resumed.ResumedTasks, rep.Resumed.SalvagedRanks,
+		rep.Restart.ReexecutedTasks, rep.TaskSavingsX, rep.BitIdentical)
+	if !rep.BitIdentical {
+		log.Fatal("recovered products are NOT bit-identical to the fault-free run")
+	}
+	if rep.Resumed.ReexecutedTasks >= rep.Restart.ReexecutedTasks {
+		log.Fatalf("resume re-executed %d tasks, not fewer than restart's %d: the ledger preserved nothing",
+			rep.Resumed.ReexecutedTasks, rep.Restart.ReexecutedTasks)
+	}
 }

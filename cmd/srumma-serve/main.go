@@ -48,23 +48,45 @@ func main() {
 	starveAfter := flag.Duration("starve-after", 0, "promote any request waiting this long regardless of class weights (0: 2s)")
 	teamIdle := flag.Duration("team-idle", 0, "retire elastic teams idle this long (0: 30s)")
 	traceEvents := flag.Int("trace-events", 0, "per-lane span ring size for GET /debug/trace (0: tracing off)")
+	traceSample := flag.Int("trace-sample", 0, "record spans for one in every N requests (0 or 1: every request; needs -trace-events)")
+	abft := flag.Bool("abft", false, "verify every SRUMMA task's C block with Huang-Abraham checksums; corrupted blocks are restored and recomputed")
+	abftTol := flag.Float64("abft-tol", 0, "relative ABFT tolerance (0: engine default 1e-6)")
+	noResume := flag.Bool("no-resume", false, "disable ledger-based resume: retried jobs restart from their inputs")
+	maxTaskK := flag.Int("max-task-k", 0, "SRUMMA task contraction cap; finer tasks mean finer recovery units (0: one task per K block)")
+	retryBudget := flag.Int("retry-budget", 0, "retries for recoverably-failed SRUMMA jobs (0: 2; negative: no retries)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base pre-retry backoff, doubling per attempt (0: 10ms)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "per-route circuit breaker failure fraction (0: breaker off)")
+	breakerWindow := flag.Int("breaker-window", 0, "breaker decision window in outcomes (0: 20)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open-state cooldown before a probe (0: 2s)")
+	brownoutAt := flag.Float64("brownout-at", 0, "queue-depth fraction that sheds ABFT and batching (0: 0.9; negative: off)")
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		NProcs:         *nprocs,
-		ProcsPerNode:   *ppn,
-		Teams:          *teams,
-		QueueCap:       *queueCap,
-		SmallMNK:       *smallMNK,
-		MaxDim:         *maxDim,
-		DefaultTimeout: *timeout,
-		KernelThreads:  *kernelThreads,
-		SchedMode:      *schedMode,
-		MaxTeams:       *maxTeams,
-		BatchMax:       *batchMax,
-		StarveAfter:    *starveAfter,
-		TeamIdleAfter:  *teamIdle,
-		TraceEvents:    *traceEvents,
+		NProcs:           *nprocs,
+		ProcsPerNode:     *ppn,
+		Teams:            *teams,
+		QueueCap:         *queueCap,
+		SmallMNK:         *smallMNK,
+		MaxDim:           *maxDim,
+		DefaultTimeout:   *timeout,
+		KernelThreads:    *kernelThreads,
+		SchedMode:        *schedMode,
+		MaxTeams:         *maxTeams,
+		BatchMax:         *batchMax,
+		StarveAfter:      *starveAfter,
+		TeamIdleAfter:    *teamIdle,
+		TraceEvents:      *traceEvents,
+		TraceSample:      *traceSample,
+		ABFT:             *abft,
+		ABFTTol:          *abftTol,
+		NoResume:         *noResume,
+		MaxTaskK:         *maxTaskK,
+		RetryBudget:      *retryBudget,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerWindow:    *breakerWindow,
+		BreakerCooldown:  *breakerCooldown,
+		BrownoutAt:       *brownoutAt,
 	})
 	if err != nil {
 		log.Fatal(err)

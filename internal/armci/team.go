@@ -97,6 +97,27 @@ func (t *Team) rankLoop(rank int) {
 	}
 }
 
+// RankPanicError is the per-rank run error recorded when a rank's job body
+// panicked. It keeps the panic payload inspectable: a recovery layer can
+// errors.As through it to the underlying cause (e.g. an injected
+// faults.CrashError) and decide whether the job is worth resuming.
+type RankPanicError struct {
+	Rank  int
+	Cause any
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("armci: rank %d panicked: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the panic payload when it was itself an error.
+func (e *RankPanicError) Unwrap() error {
+	if err, ok := e.Cause.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // runRank executes one job on one rank with the engine's standard recovery:
 // a panic is recorded with rank context and the job's collectives are
 // aborted so the surviving ranks unwind instead of hanging.
@@ -108,7 +129,7 @@ func runRank(job *teamJob, c *ctx) {
 			if _, secondary := p.(abortError); secondary {
 				job.errs[c.rank] = abortError{}
 			} else {
-				job.errs[c.rank] = fmt.Errorf("armci: rank %d panicked: %v", c.rank, p)
+				job.errs[c.rank] = &RankPanicError{Rank: c.rank, Cause: p}
 			}
 			job.r.barrier.abort()
 			job.r.mbox.abort()

@@ -161,10 +161,18 @@ func MultiplyEx(c rt.Ctx, g *grid.Grid, d Dims, opts Options, alpha, beta float6
 	mLoc := dc.RowChunks[myRow].N
 	nLoc := dc.ColChunks[myCol].N
 
+	// Recovery ledger: each rank binds its per-rank bitset before the entry
+	// barrier; a resumed attempt (marks already present) executes only the
+	// remainder of the list.
+	var lg *Ledger
+	if opts.Ledger != nil {
+		lg = opts.Ledger.Rank(me, len(tasks))
+	}
+
 	c.Barrier()
 	var execErr error
 	if len(tasks) > 0 {
-		execErr = execTasks(c, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
+		execErr = execTasks(c, tasks, opts, alpha, beta, ga, gb, gc, nLoc, lg)
 	} else if mLoc*nLoc > 0 {
 		// No contributions (cannot happen for valid dims, but keep C
 		// well-defined): C = beta*C via a k=0 multiply.
@@ -191,12 +199,38 @@ type rankHealth interface {
 	Degraded() bool
 }
 
-func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) error {
+func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int, lg *Ledger) error {
 	if h, ok := c.(rankHealth); ok {
-		return execTasksResilient(c, h, tasks, opts, alpha, beta, ga, gb, gc, nLoc)
+		return execTasksResilient(c, h, tasks, opts, alpha, beta, ga, gb, gc, nLoc, lg)
 	}
 	me := c.Rank()
 	transA, transB := opts.Case.TransA(), opts.Case.TransB()
+
+	// Resume: filter the list down to pending tasks, remembering original
+	// indexes for ledger marks, and seed the dynamic beta tracker with the
+	// regions completed tasks already touched (their beta is spent; the
+	// planner's static First marks no longer apply). A fresh ledger keeps
+	// the original list and the First-mark fast path.
+	var orig []int
+	touched := resumeTouched(tasks, lg)
+	if touched != nil {
+		pending := make([]Task, 0, len(tasks)-lg.Completed())
+		orig = make([]int, 0, len(tasks)-lg.Completed())
+		for i := range tasks {
+			if !lg.Done(i) {
+				pending = append(pending, tasks[i])
+				orig = append(orig, i)
+			}
+		}
+		tasks = pending
+		if len(tasks) == 0 {
+			return nil
+		}
+	}
+	var ab *abftState
+	if opts.ABFT {
+		ab = newABFTState(c, opts.ABFTTol)
+	}
 
 	nbuf := 2
 	if opts.SingleBuffer {
@@ -323,10 +357,25 @@ func execTasks(c rt.Ctx, tasks []Task, opts Options, alpha, beta float64, ga, gb
 
 		cMat := rt.Mat{Buf: cBuf, Off: t.CI*nLoc + t.CJ, LD: nLoc, Rows: t.CR, Cols: t.CC}
 		taskBeta := 1.0
-		if t.First {
+		if touched == nil {
+			if t.First {
+				taskBeta = beta
+			}
+		} else if reg := (cRegion{t.CI, t.CJ, t.CR, t.CC}); !touched[reg] {
+			touched[reg] = true
 			taskBeta = beta
 		}
-		c.Gemm(alpha, aMat, bMat, taskBeta, cMat)
+		if err := gemmVerified(c, ab, alpha, aMat, bMat, taskBeta, cMat); err != nil {
+			releaseScratch(c, bufsA, bufsB)
+			return err
+		}
+		if lg != nil {
+			if orig != nil {
+				lg.Mark(orig[ti])
+			} else {
+				lg.Mark(ti)
+			}
+		}
 	}
 	releaseScratch(c, bufsA, bufsB)
 	return nil

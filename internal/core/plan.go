@@ -109,6 +109,21 @@ type Options struct {
 	// and the engine team remains reusable), and Multiply returns
 	// ErrCancelled. C is left partially updated.
 	Cancel <-chan struct{}
+	// Ledger, when non-nil, records per-task completion into the job-scoped
+	// recovery ledger (see ledger.go): each rank marks its tasks done as
+	// their C contributions land, and a RESUMED attempt (same ledger, same
+	// problem) skips already-completed tasks, applying beta exactly once
+	// per C region across attempts. Requires the caller to also preserve
+	// the C segments between attempts; ranks whose C was lost must have
+	// their ledger Reset first. Nil disables recovery with zero overhead.
+	Ledger *JobLedger
+	// ABFT enables Huang–Abraham-style block verification (see abft.go):
+	// every produced C view is checked against operand row/column sums and
+	// recomputed on mismatch. Needs a data-carrying engine (the real armci
+	// engine; not the size-only sim engine). ABFTTol is the relative
+	// tolerance (default 1e-6).
+	ABFT    bool
+	ABFTTol float64
 }
 
 // Dists returns the block distributions of A, B and C implied by the grid,

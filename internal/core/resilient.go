@@ -39,7 +39,7 @@ type inflight struct {
 	hb   rt.Handle
 }
 
-func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int) error {
+func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options, alpha, beta float64, ga, gb, gc rt.Global, nLoc int, lg *Ledger) error {
 	me := c.Rank()
 	transA, transB := opts.Case.TransA(), opts.Case.TransB()
 
@@ -70,9 +70,23 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 	// Deferred: this executor returns from inside its scheduling loop.
 	defer releaseScratch(c, bufsA, bufsB)
 
-	remaining := make([]int, len(tasks))
-	for i := range remaining {
-		remaining[i] = i
+	// Dynamic beta tracking: the first gemm into each C region applies the
+	// caller's beta, every later one accumulates. On a resumed attempt the
+	// map is pre-seeded from the ledger — regions a completed task touched
+	// already had their beta applied.
+	touched := make(map[cRegion]bool, len(tasks))
+
+	remaining := make([]int, 0, len(tasks))
+	for i := range tasks {
+		if lg != nil && lg.Done(i) {
+			t := &tasks[i]
+			touched[cRegion{t.CI, t.CJ, t.CR, t.CC}] = true
+			continue
+		}
+		remaining = append(remaining, i)
+	}
+	if len(remaining) == 0 {
+		return nil
 	}
 
 	// pick chooses the next task: the first remaining one not waiting on a
@@ -116,13 +130,13 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 		return f
 	}
 
-	// Dynamic beta tracking: the first gemm into each C region applies the
-	// caller's beta, every later one accumulates.
-	type region struct{ i, j, r, c int }
-	touched := make(map[region]bool, len(tasks))
+	var ab *abftState
+	if opts.ABFT {
+		ab = newABFTState(c, opts.ABFTTol)
+	}
 
 	cBuf := c.Local(gc)
-	exec := func(f inflight) {
+	exec := func(f inflight) error {
 		t := &tasks[f.ti]
 		var aMat, bMat rt.Mat
 		if t.ADirect {
@@ -155,14 +169,20 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 		bMat.Rows, bMat.Cols = t.BSubR, t.BSubC
 		bMat.Trans = transB
 
-		reg := region{t.CI, t.CJ, t.CR, t.CC}
+		reg := cRegion{t.CI, t.CJ, t.CR, t.CC}
 		taskBeta := 1.0
 		if !touched[reg] {
 			touched[reg] = true
 			taskBeta = beta
 		}
 		cMat := rt.Mat{Buf: cBuf, Off: t.CI*nLoc + t.CJ, LD: nLoc, Rows: t.CR, Cols: t.CC}
-		c.Gemm(alpha, aMat, bMat, taskBeta, cMat)
+		if err := gemmVerified(c, ab, alpha, aMat, bMat, taskBeta, cMat); err != nil {
+			return err
+		}
+		if lg != nil {
+			lg.Mark(f.ti)
+		}
+		return nil
 	}
 
 	if cancelled(opts.Cancel) {
@@ -178,7 +198,9 @@ func execTasksResilient(c rt.Ctx, health rankHealth, tasks []Task, opts Options,
 			next = issue(take(), 1-cur.slot)
 			havePrefetch = true
 		}
-		exec(cur)
+		if err := exec(cur); err != nil {
+			return err
+		}
 		if cancelled(opts.Cancel) {
 			// Skip the remaining tasks (including a prefetched one); the
 			// deferred releaseScratch surrenders the buffers its in-flight

@@ -48,6 +48,7 @@ const (
 	Corrupt        // the payload lands with a flipped bit
 	Straggle       // the op targets a straggler rank: service is slow
 	Crash          // the issuing rank dies at this op
+	BadBlock       // the local gemm's produced C block lands silently corrupted
 )
 
 func (c Class) String() string {
@@ -64,6 +65,8 @@ func (c Class) String() string {
 		return "straggle"
 	case Crash:
 		return "crash"
+	case BadBlock:
+		return "badblock"
 	}
 	return fmt.Sprintf("Class(%d)", uint8(c))
 }
@@ -111,6 +114,20 @@ type Config struct {
 	// [0, CrashOpSpan) (default 32).
 	Crash       bool
 	CrashOpSpan int
+
+	// BadBlockRate plants silent COMPUTE corruption: each local gemm's
+	// produced C view has this probability of landing with one flipped
+	// high-order bit. Transport checksums cannot see these (the payloads
+	// that moved were correct); only ABFT verification (internal/core)
+	// can. The gemm fault stream is independent of the one-sided stream.
+	BadBlockRate float64
+
+	// ComputeCrash plants one rank death INSIDE the task loop: a
+	// deterministically chosen rank panics at a deterministically chosen
+	// local-gemm index in [0, ComputeCrashOpSpan) (default 16) — the
+	// mid-job death the block-level recovery ledger exists for.
+	ComputeCrash       bool
+	ComputeCrashOpSpan int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CrashOpSpan <= 0 {
 		c.CrashOpSpan = 32
+	}
+	if c.ComputeCrashOpSpan <= 0 {
+		c.ComputeCrashOpSpan = 16
 	}
 	return c
 }
@@ -142,17 +162,22 @@ func (c Config) Validate() error {
 	if c.Stragglers < 0 {
 		return fmt.Errorf("faults: %d stragglers", c.Stragglers)
 	}
+	if c.BadBlockRate < 0 || c.BadBlockRate > 1 {
+		return fmt.Errorf("faults: bad-block rate %g outside [0,1]", c.BadBlockRate)
+	}
 	return nil
 }
 
 // Plan is a materialized fault schedule for one topology. All methods are
 // pure and safe for concurrent use from every rank.
 type Plan struct {
-	cfg       Config
-	nprocs    int
-	straggler []bool
-	crashRank int
-	crashOp   int
+	cfg        Config
+	nprocs     int
+	straggler  []bool
+	crashRank  int
+	crashOp    int
+	gcrashRank int // compute-crash rank (-1 when not planned)
+	gcrashOp   int // compute-crash local-gemm index
 }
 
 // NewPlan builds the deterministic schedule for nprocs ranks.
@@ -164,7 +189,7 @@ func NewPlan(cfg Config, nprocs int) (*Plan, error) {
 		return nil, fmt.Errorf("faults: %d ranks", nprocs)
 	}
 	cfg = cfg.withDefaults()
-	p := &Plan{cfg: cfg, nprocs: nprocs, straggler: make([]bool, nprocs), crashRank: -1, crashOp: -1}
+	p := &Plan{cfg: cfg, nprocs: nprocs, straggler: make([]bool, nprocs), crashRank: -1, crashOp: -1, gcrashRank: -1, gcrashOp: -1}
 	// Straggler set: a seeded partial Fisher-Yates pick of distinct ranks.
 	ns := cfg.Stragglers
 	if ns > nprocs {
@@ -186,6 +211,12 @@ func NewPlan(cfg Config, nprocs int) (*Plan, error) {
 		p.crashRank = int(h % uint64(nprocs))
 		h = splitmix(h)
 		p.crashOp = int(h % uint64(cfg.CrashOpSpan))
+	}
+	if cfg.ComputeCrash {
+		h := splitmix(cfg.Seed ^ 0x47454d4d43524153) // "GEMMCRAS"
+		p.gcrashRank = int(h % uint64(nprocs))
+		h = splitmix(h)
+		p.gcrashOp = int(h % uint64(cfg.ComputeCrashOpSpan))
 	}
 	return p, nil
 }
@@ -229,6 +260,34 @@ func (p *Plan) At(rank, op int) Fault {
 	case u < p.cfg.DropRate+p.cfg.DelayRate+p.cfg.CorruptRate:
 		h = splitmix(h)
 		return Fault{Class: Corrupt, Elem: int(h % (1 << 30)), Bit: uint((h >> 32) % 63)}
+	}
+	return Fault{}
+}
+
+// ComputeCrashPoint returns the planned (rank, local-gemm index) of the
+// injected compute crash, or (-1, -1) when none is planned.
+func (p *Plan) ComputeCrashPoint() (rank, op int) { return p.gcrashRank, p.gcrashOp }
+
+// AtGemm returns the fault planted into the op-index'th local gemm
+// executed by rank — a stream independent of the one-sided schedule, so
+// adding compute faults never perturbs a transport replay. BadBlock
+// faults flip an EXPONENT bit (52..62, never the sign) of one element of
+// the produced C view: the element at least doubles or halves, so the
+// perturbation always clears ABFT's block-sum tolerance — a mantissa flip
+// on a small element could hide below the checksum noise floor of a large
+// block and would make the fault undetectable by design.
+func (p *Plan) AtGemm(rank, op int) Fault {
+	if rank == p.gcrashRank && op == p.gcrashOp {
+		return Fault{Class: Crash}
+	}
+	if p.cfg.BadBlockRate <= 0 {
+		return Fault{}
+	}
+	h := splitmix(splitmix(p.cfg.Seed^0x4241444241444221^uint64(rank)*0x9e3779b97f4a7c15) ^ uint64(op)*0xbf58476d1ce4e5b9)
+	u := float64(h>>11) / float64(1<<53)
+	if u < p.cfg.BadBlockRate {
+		h = splitmix(h)
+		return Fault{Class: BadBlock, Elem: int(h % (1 << 30)), Bit: 52 + uint((h>>32)%11)}
 	}
 	return Fault{}
 }

@@ -43,11 +43,15 @@ func checksummerOf(ctx rt.Ctx) SourceChecksummer {
 // runtime recovers it into the run error, so a crashed run fails loudly
 // with rank and op context instead of hanging.
 type CrashError struct {
-	Rank int
-	Op   int
+	Rank    int
+	Op      int
+	Compute bool // the crash fired mid-task-loop (local gemm), not at an RMA op
 }
 
 func (e CrashError) Error() string {
+	if e.Compute {
+		return fmt.Sprintf("faults: rank %d crashed (injected fault) at local gemm %d", e.Rank, e.Op)
+	}
 	return fmt.Sprintf("faults: rank %d crashed (injected fault) at one-sided op %d", e.Rank, e.Op)
 }
 
@@ -97,19 +101,43 @@ type injCtx struct {
 	rt.Ctx // inner engine; non-faulted methods pass through
 	plan   *Plan
 	rec    *Recorder
-	op     int // per-rank faultable-op counter
+	op     int     // per-rank faultable-op counter
+	gop    int     // per-rank local-gemm counter
+	shared *Shared // non-nil in serving mode: process-wide counters + crash latches
 }
 
 // Unwrap exposes the engine beneath for capability discovery.
 func (c *injCtx) Unwrap() rt.Ctx { return c.Ctx }
 
+// nextOp consumes one one-sided op index: process-wide when the injector
+// is Shared (serving mode), per-wrapper otherwise.
+func (c *injCtx) nextOp() int {
+	if c.shared != nil {
+		return int(c.shared.ops[c.Rank()].Add(1) - 1)
+	}
+	op := c.op
+	c.op++
+	return op
+}
+
+func (c *injCtx) nextGemmOp() int {
+	if c.shared != nil {
+		return int(c.shared.gops[c.Rank()].Add(1) - 1)
+	}
+	op := c.gop
+	c.gop++
+	return op
+}
+
 // next consumes one op index and returns its planned faults: the per-op
 // roll and the target-side straggler delay. It panics on a planned crash
 // and records/counts whatever it injects.
 func (c *injCtx) next(target int) (Fault, Fault) {
-	op := c.op
-	c.op++
+	op := c.nextOp()
 	f := c.plan.At(c.Rank(), op)
+	if f.Class == Crash && c.shared != nil && !c.shared.crashed.CompareAndSwap(false, true) {
+		f = Fault{} // the process-wide crash already fired; the retry lives
+	}
 	if f.Class == Crash {
 		c.record(op, Crash)
 		panic(CrashError{Rank: c.Rank(), Op: op})
@@ -248,6 +276,31 @@ func (c *injCtx) NbPutSub(src rt.Buffer, srcOff int, g rt.Global, rank, off, ld,
 		}
 	}
 	return c.wrapHandle(f, s, c.Ctx.NbPutSub(src, srcOff, g, rank, off, ld, rows, cols))
+}
+
+// Gemm consults the gemm fault stream: the planned compute crash panics
+// mid-task-loop (CrashError with Compute set), and BadBlock faults flip
+// one bit of the produced C view AFTER the kernel ran — silent corruption
+// that only ABFT verification can see.
+func (c *injCtx) Gemm(alpha float64, a, b rt.Mat, beta float64, cm rt.Mat) {
+	op := c.nextGemmOp()
+	f := c.plan.AtGemm(c.Rank(), op)
+	if f.Class == Crash && c.shared != nil && !c.shared.gcrashed.CompareAndSwap(false, true) {
+		f = Fault{}
+	}
+	if f.Class == Crash {
+		c.record(op, Crash)
+		panic(CrashError{Rank: c.Rank(), Op: op, Compute: true})
+	}
+	c.Ctx.Gemm(alpha, a, b, beta, cm)
+	if f.Class == BadBlock && cm.Rows*cm.Cols > 0 {
+		c.record(op, BadBlock)
+		e := f.Elem % (cm.Rows * cm.Cols)
+		i := cm.Off + (e/cm.Cols)*cm.LD + e%cm.Cols
+		v := c.Ctx.ReadBuf(cm.Buf, i, 1)
+		bits := math.Float64bits(v[0]) ^ (1 << f.Bit)
+		c.Ctx.WriteBuf(cm.Buf, i, []float64{math.Float64frombits(bits)})
+	}
 }
 
 // Wait understands the injector's own handle types. Waiting on a

@@ -1,0 +1,46 @@
+package faults
+
+// Serving-mode injector state. The per-job Inject wrapper restarts its op
+// counters at zero for every wrap, which is right for one-shot runs but
+// wrong for a server: every request would replay the schedule's opening
+// ops — and a planned crash would kill every single job, so no retry could
+// ever succeed. Shared keeps the counters (and once-only crash latches) at
+// process scope, so the fault schedule advances ACROSS jobs and teams and
+// an injected rank death fires exactly once per process. That is the shape
+// a recovery gate needs: the first attempt dies mid-compute, the resumed
+// retry runs clean.
+
+import (
+	"sync/atomic"
+
+	"srumma/internal/rt"
+)
+
+// Shared is process-lifetime injector state for a serving layer: per-rank
+// op counters persistent across jobs, plus crash latches. Safe for
+// concurrent use from every rank of every in-flight job.
+type Shared struct {
+	plan     *Plan
+	ops      []atomic.Int64 // one-sided op counters, indexed by rank
+	gops     []atomic.Int64 // local-gemm counters, indexed by rank
+	crashed  atomic.Bool    // the one-sided crash already fired
+	gcrashed atomic.Bool    // the compute crash already fired
+}
+
+// NewShared builds shared injector state over the plan's topology.
+func NewShared(p *Plan) *Shared {
+	return &Shared{
+		plan: p,
+		ops:  make([]atomic.Int64, p.NProcs()),
+		gops: make([]atomic.Int64, p.NProcs()),
+	}
+}
+
+// Plan returns the schedule behind the shared state.
+func (s *Shared) Plan() *Plan { return s.plan }
+
+// Wrap layers the injector over one job's engine ctx, drawing op indices
+// from the shared process-wide counters.
+func (s *Shared) Wrap(inner rt.Ctx) rt.Ctx {
+	return &injCtx{Ctx: inner, plan: s.plan, shared: s}
+}

@@ -33,6 +33,8 @@ type Meters struct {
 	ChecksumErrors  int64 // corrupted payloads detected end-to-end
 	StragglerSteals int64 // tasks executed out of order to dodge a slow rank
 	DegradedMode    int64 // 1 once the rank fell back to blocking transfers
+	ABFTDetected    int64 // C blocks failing Huang-Abraham sum verification
+	ABFTRecomputed  int64 // corrupted C blocks restored and recomputed clean
 }
 
 // Add accumulates o into s.
@@ -57,6 +59,8 @@ func (s *Meters) Add(o *Meters) {
 	s.ChecksumErrors += o.ChecksumErrors
 	s.StragglerSteals += o.StragglerSteals
 	s.DegradedMode += o.DegradedMode
+	s.ABFTDetected += o.ABFTDetected
+	s.ABFTRecomputed += o.ABFTRecomputed
 }
 
 // Each calls f once per meter in declaration order, with the canonical
@@ -82,6 +86,8 @@ func (s *Meters) Each(f func(name string, value float64)) {
 	f("checksum_errors", float64(s.ChecksumErrors))
 	f("straggler_steals", float64(s.StragglerSteals))
 	f("degraded_mode", float64(s.DegradedMode))
+	f("abft_detected", float64(s.ABFTDetected))
+	f("abft_recomputed", float64(s.ABFTRecomputed))
 }
 
 // Map returns the meters as a name→value map (for JSON benchmark dumps).

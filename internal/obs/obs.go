@@ -42,17 +42,18 @@ const (
 	KindRequest             // one admitted serving-layer request
 	KindQueue               // task queue-wait (admission to dispatch)
 	KindBatch               // one scheduler dispatch on a worker
+	KindRecover             // job recovery work: salvage, resume, ABFT redo
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"gemm", "wait", "copy", "pack", "barrier", "steal",
-	"get", "put", "issue", "job", "request", "queue", "batch",
+	"get", "put", "issue", "job", "request", "queue", "batch", "recover",
 }
 
 // glyphs are the single-cell timeline letters. The first six are pinned by
 // the golden sim output.
-var glyphs = [numKinds]byte{'g', 'w', 'c', 'p', 'b', 's', 't', 'u', 'i', 'j', 'r', 'q', 'a'}
+var glyphs = [numKinds]byte{'g', 'w', 'c', 'p', 'b', 's', 't', 'u', 'i', 'j', 'r', 'q', 'a', 'v'}
 
 // String returns the kind's stable name (used in Chrome traces, summaries
 // and BENCH json).

@@ -241,8 +241,8 @@ func TestMetersAddAndEach(t *testing.T) {
 	if m["gets_shared"] != 5 || m["wait_time_s"] != 0.75 || m["flops"] != 100 {
 		t.Fatalf("Map wrong: %+v", m)
 	}
-	if len(m) != 20 {
-		t.Fatalf("Map has %d meters, want 20 (did a field get added without Each?)", len(m))
+	if len(m) != 22 {
+		t.Fatalf("Map has %d meters, want 22 (did a field get added without Each?)", len(m))
 	}
 }
 

@@ -1,0 +1,52 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) over a Registry
+// snapshot. The repo's native /metrics is JSON; a scraper wants the
+// text format, and the mapping is mechanical: dotted metric names become
+// underscore-separated, every sample is exported untyped (the registry
+// does not distinguish monotonic counters from gauges at export time, and
+// untyped is the format's honest answer for that). No labels: the
+// registry's names are already fully qualified paths.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the 0.0.4 text format.
+const PrometheusContentType = "text/plain; version=0.0.4"
+
+// promName rewrites a dotted registry name into a valid Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, dots and any other invalid byte mapped
+// to underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the samples in the 0.0.4 text exposition format,
+// one `# TYPE <name> untyped` header and one value line per sample, in the
+// samples' (name-sorted) order.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	for _, s := range samples {
+		name := promName(s.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n",
+			name, name, strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

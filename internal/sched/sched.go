@@ -194,6 +194,7 @@ type Scheduler struct {
 	replaced        *obs.Counter
 	growFailed      *obs.Counter
 	served          [NumClasses]*obs.Counter
+	qwait           [NumClasses]*obs.Histogram // admission-to-dispatch wait
 }
 
 // New builds a scheduler and spins up MinWorkers workers synchronously (a
@@ -233,6 +234,7 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	for c := 0; c < NumClasses; c++ {
 		s.served[c] = reg.Counter("sched.served." + Class(c).String())
+		s.qwait[c] = reg.Histogram("sched.queue_wait." + Class(c).String())
 	}
 	initial := make([]Worker, 0, cfg.MinWorkers)
 	for i := 0; i < cfg.MinWorkers; i++ {
@@ -409,6 +411,9 @@ func (s *Scheduler) popBatch(buf []*Task) []*Task {
 		}
 		s.q.popHead(c)
 		head.attempts.Add(1)
+		// Queue-wait lands in the per-class histogram so /metrics separates
+		// wait p99 from service p99 — the queueing-delay half of latency.
+		s.qwait[c].Observe(now.Sub(head.enq).Seconds())
 		if s.cfg.Trace != nil {
 			// Queue-wait span: admission (enq) to dispatch, on the sched lane.
 			s.cfg.Trace.RecordWall(s.cfg.TraceLane, obs.KindQueue, head.enq, now)

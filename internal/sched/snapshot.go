@@ -19,6 +19,10 @@ type Snapshot struct {
 	Cancelled uint64 `json:"cancelled"`
 	// ServedByClass counts finished tasks per class.
 	ServedByClass map[string]uint64 `json:"served_by_class"`
+	// QueueWait is the per-class admission-to-dispatch wait distribution,
+	// indexed by Class.String() — queueing delay, separate from service
+	// time, so a loaded server's latency decomposes in /metrics.
+	QueueWait map[string]WaitStats `json:"queue_wait"`
 
 	// Batching.
 	Dispatches      uint64  `json:"dispatches"`
@@ -42,6 +46,14 @@ type Snapshot struct {
 	PoolGrowFailed uint64 `json:"pool_grow_failed"`
 }
 
+// WaitStats summarizes one class's queue-wait distribution.
+type WaitStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
 // Snapshot captures the scheduler's current state.
 func (s *Scheduler) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -54,8 +66,16 @@ func (s *Scheduler) Snapshot() Snapshot {
 	s.mu.Unlock()
 
 	served := make(map[string]uint64, NumClasses)
+	qwait := make(map[string]WaitStats, NumClasses)
 	for c := 0; c < NumClasses; c++ {
 		served[Class(c).String()] = uint64(s.served[c].Load())
+		h := s.qwait[c]
+		qwait[Class(c).String()] = WaitStats{
+			Count:  h.Count(),
+			MeanMs: h.Mean() * 1e3,
+			P50Ms:  h.Quantile(0.5) * 1e3,
+			P99Ms:  h.Quantile(0.99) * 1e3,
+		}
 	}
 	snap := Snapshot{
 		Workers:              workers,
@@ -68,6 +88,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 		Failed:               uint64(s.failed.Load()),
 		Cancelled:            uint64(s.cancelled.Load()),
 		ServedByClass:        served,
+		QueueWait:            qwait,
 		Dispatches:           uint64(s.dispatches.Load()),
 		DispatchedTasks:      uint64(s.dispatchedTasks.Load()),
 		MaxBatch:             s.maxBatch.Load(),

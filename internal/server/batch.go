@@ -31,6 +31,10 @@ type schedJob struct {
 	cs  core.Case
 	d   core.Dims
 	ctx context.Context // request context; Done() doubles as Task.Cancel
+	// rec carries the SRUMMA route's recovery state (ledger + salvaged C
+	// segments) across retry attempts; nil on the small route.
+	rec    *recoverJob
+	traced bool // head-sampling verdict for this request's spans
 
 	out      *mat.Matrix
 	batch    int // dispatch size that served this job
@@ -108,9 +112,15 @@ func (s *Server) execSRUMMATask(tm *armci.Team, t *sched.Task) sched.Outcome {
 		t.Finish(sched.ErrCancelled)
 		return sched.Outcome{}
 	}
+	if t.Attempts() > 1 && job.rec != nil {
+		// The scheduler requeued this task (watchdog-leaked team): reconcile
+		// the recovery ledger with whatever the failed dispatch salvaged so
+		// the replacement team resumes rather than double-accumulates.
+		s.met.noteRetry(job.rec.prepareRetry())
+	}
 	job.started = time.Now()
 	job.batch = 1
-	out, err := s.runSRUMMA(job.ctx, tm, job.req, job.cs, job.d)
+	out, err := s.runSRUMMA(job.ctx, tm, job.req, job.cs, job.d, job.rec, job.traced)
 	job.out = out
 	job.finished = time.Now()
 
@@ -133,6 +143,21 @@ func (s *Server) execGemmBatch(tm *armci.Team, tasks []*sched.Task) sched.Outcom
 	hook := s.batchHook()
 	n := len(tasks)
 	threads := s.batchKernelThreads()
+	if s.cfg.TraceSample > 1 {
+		// Head-sampling: the batch records spans iff any member was sampled.
+		traced := false
+		for _, t := range tasks {
+			if t.Payload.(*schedJob).traced {
+				traced = true
+				break
+			}
+		}
+		if traced {
+			tm.SetRecorder(s.rec)
+		} else {
+			tm.SetRecorder(nil)
+		}
+	}
 	_, runErr := tm.Run(func(c rt.Ctx) {
 		for {
 			i := int(next.Add(1)) - 1

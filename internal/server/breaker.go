@@ -1,0 +1,158 @@
+package server
+
+// Per-route circuit breaker. When one execution tier goes bad — a wedged
+// team pool, a fault storm on the distributed engine — retry budgets turn
+// every request into several slow failures. The breaker converts that into
+// fast failure: it watches a sliding window of request outcomes per route,
+// opens when the failure fraction crosses the threshold, sheds subsequent
+// requests with 503 + Retry-After for a cooldown, then admits one probe
+// (half-open) and closes again only if the probe succeeds. Disabled unless
+// Config.BreakerThreshold > 0, so the default serving path is unchanged.
+
+import (
+	"sync"
+	"time"
+
+	"srumma/internal/obs"
+)
+
+// Breaker states, exported in metrics as breaker.state.<route>.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+type breaker struct {
+	threshold  float64 // failure fraction that opens
+	window     int     // outcomes in the decision window
+	minSamples int     // outcomes required before the breaker may open
+	cooldown   time.Duration
+	now        func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	ring     []bool // true = failure; circular, newest overwrites oldest
+	idx      int
+	filled   int
+	state    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	stateG *obs.Gauge
+	opened *obs.Counter
+	shed   *obs.Counter
+}
+
+func newBreaker(route string, threshold float64, window int, cooldown time.Duration, reg *obs.Registry, now func() time.Time) *breaker {
+	if window > 128 {
+		window = 128
+	}
+	return &breaker{
+		threshold:  threshold,
+		window:     window,
+		minSamples: (window + 1) / 2,
+		cooldown:   cooldown,
+		now:        now,
+		ring:       make([]bool, window),
+		stateG:     reg.Gauge("breaker.state." + route),
+		opened:     reg.Counter("breaker.opened." + route),
+		shed:       reg.Counter("breaker.shed." + route),
+	}
+}
+
+// allow decides whether a request may proceed. When it may not, the second
+// return is how long the client should back off (the remaining cooldown).
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			b.shed.Add(1)
+			return false, remaining
+		}
+		// Cooldown over: this request is the half-open probe.
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true, 0
+	case breakerHalfOpen:
+		if b.probing {
+			b.shed.Add(1)
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return true, 0
+}
+
+// record settles one allowed request's outcome.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if ok {
+			// The probe succeeded: close and forget the bad window.
+			for i := range b.ring {
+				b.ring[i] = false
+			}
+			b.filled, b.idx = 0, 0
+			b.setState(breakerClosed)
+		} else {
+			b.openedAt = b.now()
+			b.setState(breakerOpen)
+		}
+		return
+	}
+	if b.state == breakerOpen {
+		// A straggler admitted before the trip; its outcome is stale.
+		return
+	}
+	b.ring[b.idx] = !ok
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.filled < len(b.ring) {
+		b.filled++
+	}
+	if b.filled < b.minSamples {
+		return
+	}
+	fails := 0
+	for i := 0; i < b.filled; i++ {
+		if b.ring[i] {
+			fails++
+		}
+	}
+	if float64(fails)/float64(b.filled) >= b.threshold {
+		b.openedAt = b.now()
+		b.opened.Add(1)
+		b.setState(breakerOpen)
+	}
+}
+
+func (b *breaker) setState(s int) {
+	b.state = s
+	b.stateG.Set(int64(s))
+}
+
+// snapshot returns the breaker's exported view.
+func (b *breaker) snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:  breakerStateName(b.state),
+		Opened: uint64(b.opened.Load()),
+		Shed:   uint64(b.shed.Load()),
+	}
+}

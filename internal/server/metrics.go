@@ -63,6 +63,31 @@ type MetricsSnapshot struct {
 	// Sched is the workload scheduler's view (nil in FIFO mode): per-class
 	// queue depth, batch occupancy, deadline misses, pool elasticity.
 	Sched *sched.Snapshot `json:"sched,omitempty"`
+
+	// Recovery is the block-level job recovery view: handler retries,
+	// resumed vs restarted jobs, tasks skipped by resume, ABFT detections.
+	Recovery RecoveryStats `json:"recovery"`
+	// Breakers is the per-route circuit-breaker view (omitted when the
+	// breaker is disabled).
+	Breakers map[string]BreakerStats `json:"breakers,omitempty"`
+}
+
+// RecoveryStats is the recovery slice of a metrics snapshot.
+type RecoveryStats struct {
+	Retries          uint64 `json:"retries"`
+	ResumedJobs      uint64 `json:"resumed_jobs"`
+	RestartedJobs    uint64 `json:"restarted_jobs"`
+	ResumedTasks     uint64 `json:"resumed_tasks"`
+	ABFTDetected     uint64 `json:"abft_detected"`
+	ABFTRecomputed   uint64 `json:"abft_recomputed"`
+	BrownoutRequests uint64 `json:"brownout_requests"`
+}
+
+// BreakerStats is one route's circuit-breaker view.
+type BreakerStats struct {
+	State  string `json:"state"`
+	Opened uint64 `json:"opened"`
+	Shed   uint64 `json:"shed"`
 }
 
 // metrics is the serving layer's instrument block: cached pointers into the
@@ -85,6 +110,15 @@ type metrics struct {
 	routes        map[string]*obs.Histogram
 	classes       map[string]*obs.Histogram
 	rate          obs.RateWindow
+
+	retries        *obs.Counter
+	resumedJobs    *obs.Counter
+	restartedJobs  *obs.Counter
+	resumedTasks   *obs.Counter
+	abftDetected   *obs.Counter
+	abftRecomputed *obs.Counter
+	brownoutG      *obs.Gauge
+	brownoutReqs   *obs.Counter
 
 	// mu guards schedSnap, which is installed after construction in
 	// scheduler mode.
@@ -119,6 +153,36 @@ func newMetrics(queueCap int) *metrics {
 			sched.ClassInteractive.String(): reg.Histogram("server.latency.class." + sched.ClassInteractive.String()),
 			sched.ClassBatch.String():       reg.Histogram("server.latency.class." + sched.ClassBatch.String()),
 		},
+		retries:        reg.Counter("recover.retries"),
+		resumedJobs:    reg.Counter("recover.resumed_jobs"),
+		restartedJobs:  reg.Counter("recover.restarted_jobs"),
+		resumedTasks:   reg.Counter("recover.resumed_tasks"),
+		abftDetected:   reg.Counter("recover.abft_detected"),
+		abftRecomputed: reg.Counter("recover.abft_recomputed"),
+		brownoutG:      reg.Gauge("server.brownout"),
+		brownoutReqs:   reg.Counter("server.brownout_requests"),
+	}
+}
+
+// noteRetry records one handler-level retry of a failed SRUMMA job:
+// resumed when the ledger salvaged completed work, restarted otherwise.
+func (m *metrics) noteRetry(resumedTasks int) {
+	m.retries.Inc()
+	if resumedTasks > 0 {
+		m.resumedJobs.Inc()
+		m.resumedTasks.Add(int64(resumedTasks))
+	} else {
+		m.restartedJobs.Inc()
+	}
+}
+
+// noteABFT accumulates a run's verification counts.
+func (m *metrics) noteABFT(detected, recomputed int64) {
+	if detected > 0 {
+		m.abftDetected.Add(detected)
+	}
+	if recomputed > 0 {
+		m.abftRecomputed.Add(recomputed)
 	}
 }
 
@@ -220,6 +284,15 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		RecentRPS:     m.rate.RPS(time.Now()),
 		Routes:        make(map[string]RouteStats, len(m.routes)),
 		Classes:       make(map[string]RouteStats, len(m.classes)),
+		Recovery: RecoveryStats{
+			Retries:          uint64(m.retries.Load()),
+			ResumedJobs:      uint64(m.resumedJobs.Load()),
+			RestartedJobs:    uint64(m.restartedJobs.Load()),
+			ResumedTasks:     uint64(m.resumedTasks.Load()),
+			ABFTDetected:     uint64(m.abftDetected.Load()),
+			ABFTRecomputed:   uint64(m.abftRecomputed.Load()),
+			BrownoutRequests: uint64(m.brownoutReqs.Load()),
+		},
 	}
 	// The two gauges are updated independently on the hot path, so a
 	// snapshot between the paired updates can transiently skew; clamp.

@@ -1,0 +1,125 @@
+package server
+
+// Block-level job recovery for the SRUMMA route. One recoverJob rides
+// along with each distributed request across its retry attempts: it owns
+// the core.JobLedger (which tasks each rank completed) and the salvaged
+// per-rank C segments read out of a failed attempt. A retried job reloads
+// the salvage, hands the ledger back to the executor, and re-executes only
+// the tasks absent from it — bit-identical to an uninterrupted run. Ranks
+// whose C could not be salvaged (they exited the job body cleanly before a
+// peer's failure aborted the run, so their salvage hook never fired) have
+// their ledger reset and restart from their request inputs.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/core"
+	"srumma/internal/sched"
+)
+
+// recoverJob is one SRUMMA request's recovery state, shared by every
+// attempt. salv is written by team ranks during unwind and read by the
+// next attempt's ranks; the ledger is the executor's own.
+type recoverJob struct {
+	ledger *core.JobLedger // nil when resume is disabled (restart-only retries)
+	abft   bool            // this request verifies blocks (may be shed by brownout)
+
+	mu   sync.Mutex
+	salv [][]float64 // per-rank C segment rescued from a failed attempt
+}
+
+func (s *Server) newRecoverJob(abft bool) *recoverJob {
+	rj := &recoverJob{abft: abft, salv: make([][]float64, s.cfg.NProcs)}
+	if !s.cfg.NoResume {
+		rj.ledger = core.NewJobLedger(s.cfg.NProcs)
+	}
+	return rj
+}
+
+func (rj *recoverJob) save(rank int, c []float64) {
+	rj.mu.Lock()
+	rj.salv[rank] = c
+	rj.mu.Unlock()
+}
+
+// take consumes rank's salvaged C segment. Clearing on read is what keeps
+// salvage and ledger in lockstep across multiple retries: a rank that later
+// exits cleanly while the job fails again has salv == nil at the next
+// prepareRetry, so its (now stale relative to its advanced ledger) segment
+// can never be paired with newer marks — the ledger resets and the rank
+// restarts.
+func (rj *recoverJob) take(rank int) []float64 {
+	if rj == nil {
+		return nil
+	}
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	c := rj.salv[rank]
+	rj.salv[rank] = nil
+	return c
+}
+
+// prepareRetry reconciles the ledger with what actually survived: a rank
+// with completed tasks but no salvaged C lost its work, so its marks are
+// cleared and it restarts. Returns how many tasks the retry will skip —
+// the resumed-work count the recovery metrics report.
+func (rj *recoverJob) prepareRetry() int {
+	if rj.ledger == nil {
+		return 0
+	}
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	for rank, s := range rj.salv {
+		if s == nil {
+			rj.ledger.Reset(rank)
+		}
+	}
+	return rj.ledger.Completed()
+}
+
+// retryableRunError classifies a failed SRUMMA run: rank panics (injected
+// crashes included), leaked-rank watchdog reports and exhausted ABFT
+// recomputes are transient-with-recovery; cancellations, deadlines and
+// drain are final.
+func retryableRunError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, sched.ErrCancelled) ||
+		errors.Is(err, sched.ErrClosed) || errors.Is(err, sched.ErrRetriesExhausted) {
+		// ErrRetriesExhausted means the scheduler's own requeue budget is
+		// already spent; stacking the handler budget on top would square
+		// the retry count.
+		return false
+	}
+	var rpe *armci.RankPanicError
+	var werr *armci.WatchdogError
+	return errors.As(err, &rpe) || errors.As(err, &werr) || errors.Is(err, core.ErrABFT)
+}
+
+// retryBackoff is the wait before retry attempt `attempt` (0-based):
+// base * 2^attempt.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	return base << uint(attempt)
+}
+
+// sleepCtx sleeps d unless ctx expires first; reports whether the full
+// sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

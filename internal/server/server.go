@@ -37,6 +37,7 @@ import (
 	"srumma/internal/armci"
 	"srumma/internal/core"
 	"srumma/internal/driver"
+	"srumma/internal/faults"
 	"srumma/internal/grid"
 	"srumma/internal/mat"
 	"srumma/internal/obs"
@@ -108,6 +109,54 @@ type Config struct {
 	// workload classes (defaults 4 and 1).
 	InteractiveWeight float64
 	BatchWeight       float64
+
+	// MaxTaskK caps the contraction length of one SRUMMA task on the
+	// distributed route (core.Options.MaxTaskK). Finer tasks mean smaller
+	// fetch buffers AND finer recovery units: the ledger resumes at task
+	// granularity, so a retried job re-executes at most one MaxTaskK panel
+	// per rank beyond what completed. 0 keeps the engine default (one task
+	// per K block).
+	MaxTaskK int
+
+	// ABFT verifies every SRUMMA task's produced C block against
+	// Huang-Abraham operand sums (core.Options.ABFT), restoring and
+	// recomputing corrupted blocks. ABFTTol is the relative tolerance
+	// (0 = core default 1e-6).
+	ABFT    bool
+	ABFTTol float64
+	// NoResume disables ledger-based resume: retried jobs restart from the
+	// request inputs instead of salvaging completed blocks.
+	NoResume bool
+	// RetryBudget is how many times a recoverably-failed SRUMMA job (rank
+	// panic, leaked-rank watchdog, exhausted ABFT recompute) is retried
+	// with exponential backoff before its error surfaces (default 2;
+	// negative disables retries).
+	RetryBudget int
+	// RetryBackoff is the base pre-retry backoff, doubling per attempt
+	// (default 10ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold enables the per-route circuit breaker when > 0: a
+	// route whose failure fraction over its last BreakerWindow outcomes
+	// (default 20) reaches the threshold opens, shedding requests with
+	// 503 + Retry-After for BreakerCooldown (default 2s), then admitting
+	// a single probe.
+	BreakerThreshold float64
+	BreakerWindow    int
+	BreakerCooldown  time.Duration
+	// BrownoutAt sheds optional work before refusing traffic: when queue
+	// depth reaches this fraction of QueueCap, newly admitted requests run
+	// without ABFT verification or batching (default 0.9; negative
+	// disables brownout).
+	BrownoutAt float64
+	// TraceSample head-samples request tracing when > 1: one in every
+	// TraceSample requests records handler and engine spans (requires
+	// TraceEvents > 0). 0 or 1 keeps always-on tracing.
+	TraceSample int
+	// FaultPlan, when set, layers the deterministic fault injector over
+	// every engine job, drawing op indices from process-wide counters
+	// (faults.Shared) so schedules advance across jobs and an injected
+	// crash fires exactly once. Chaos testing only; nil in production.
+	FaultPlan *faults.Plan
 }
 
 func (c Config) fill() Config {
@@ -156,6 +205,27 @@ func (c Config) fill() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 20
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BrownoutAt == 0 {
+		c.BrownoutAt = 0.9
+	}
+	if c.BrownoutAt < 0 {
+		c.BrownoutAt = 0
+	}
 	return c
 }
 
@@ -177,6 +247,13 @@ type Server struct {
 	met      *metrics
 	draining atomic.Bool
 	jobs     sync.WaitGroup // in-flight multiply handlers
+
+	// chaos is the process-wide fault injector state (nil unless
+	// Config.FaultPlan is set); breakers is the per-route circuit breaker
+	// map (nil unless Config.BreakerThreshold > 0).
+	chaos    *faults.Shared
+	breakers map[string]*breaker
+	traceSeq atomic.Uint64 // head-sampling counter (TraceSample > 1)
 
 	// rec is the span recorder behind /debug/trace (nil when
 	// Config.TraceEvents is 0): lanes 0..NProcs-1 are engine ranks,
@@ -210,6 +287,15 @@ func New(cfg Config) (*Server, error) {
 		topo: topo,
 		g:    g,
 		met:  newMetrics(cfg.QueueCap),
+	}
+	if cfg.FaultPlan != nil {
+		s.chaos = faults.NewShared(cfg.FaultPlan)
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = map[string]*breaker{
+			routeSmall:  newBreaker(routeSmall, cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, s.met.reg, time.Now),
+			routeSRUMMA: newBreaker(routeSRUMMA, cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, s.met.reg, time.Now),
+		}
 	}
 	if cfg.TraceEvents > 0 {
 		// One ring-buffered lane per engine rank plus one for the request
@@ -259,7 +345,16 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns a point-in-time metrics snapshot.
-func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.met.snapshot()
+	if s.breakers != nil {
+		snap.Breakers = make(map[string]BreakerStats, len(s.breakers))
+		for route, b := range s.breakers {
+			snap.Breakers[route] = b.snapshot()
+		}
+	}
+	return snap
+}
 
 // Serve accepts connections on l until Shutdown.
 func (s *Server) Serve(l net.Listener) error {
@@ -329,6 +424,13 @@ func (s *Server) closeTeams() error {
 	}
 }
 
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -344,7 +446,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot())
+	if r.URL.Query().Get("format") == "prom" {
+		// Prometheus text exposition over the same registry snapshot the
+		// JSON view is derived from: server.*, sched.*, recover.*, breaker.*.
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		obs.WritePrometheus(w, s.met.reg.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 // handleTrace dumps the span recorder as Chrome trace-event JSON (load the
@@ -433,7 +542,8 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.rec != nil {
+	traced := s.sampleTrace()
+	if traced {
 		t0 := time.Now()
 		defer func() { s.rec.RecordWall(s.cfg.NProcs, obs.KindRequest, t0, time.Now()) }()
 	}
@@ -471,8 +581,26 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	route := routeSRUMMA
+	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
+		route = routeSmall
+	}
+	// Circuit breaker: an open route fails fast with a cooldown hint
+	// instead of burning a team (and a retry budget) on a known-bad tier.
+	if br := s.breakers[route]; br != nil {
+		if ok, wait := br.allow(); !ok {
+			ra := int(math.Ceil(wait.Seconds()))
+			if ra < 1 {
+				ra = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "circuit open: route " + route + " is shedding load", RetryAfterSeconds: ra})
+			return
+		}
+	}
+
 	if s.sched != nil {
-		s.handleSchedMultiply(w, r, &req, cs, d, cls, timeout)
+		s.handleSchedMultiply(w, r, &req, cs, d, cls, timeout, route, traced)
 		return
 	}
 
@@ -498,7 +626,8 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp, status, eresp := s.execute(ctx, &req, cs, d, cls, admitted)
+	resp, status, eresp := s.execute(ctx, &req, cs, d, cls, admitted, route, traced)
+	s.recordBreaker(route, status)
 	if eresp != nil {
 		writeJSON(w, status, *eresp)
 		return
@@ -506,10 +635,40 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// sampleTrace decides whether this request records spans: always when
+// tracing is on without sampling, one in every TraceSample otherwise.
+func (s *Server) sampleTrace() bool {
+	if s.rec == nil {
+		return false
+	}
+	if s.cfg.TraceSample <= 1 {
+		return true
+	}
+	return s.traceSeq.Add(1)%uint64(s.cfg.TraceSample) == 1
+}
+
+// recordBreaker settles one allowed request with the route's breaker:
+// 200 is a success, 500 a failure; cancellations and shedding are neither.
+func (s *Server) recordBreaker(route string, status int) {
+	br := s.breakers[route]
+	if br == nil {
+		return
+	}
+	switch status {
+	case http.StatusOK:
+		br.record(true)
+	case http.StatusInternalServerError:
+		br.record(false)
+	}
+}
+
 // handleSchedMultiply runs one validated request through the workload
 // scheduler: build a task, submit (backpressure on a full run queue), wait
-// for the executor — or the deadline — and translate the outcome.
-func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, timeout time.Duration) {
+// for the executor — or the deadline — and translate the outcome. A SRUMMA
+// job that fails recoverably (rank panic, exhausted ABFT recompute) is
+// resubmitted with exponential backoff up to RetryBudget times, resuming
+// from its recovery ledger.
+func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, timeout time.Duration, route string, traced bool) {
 	admitted := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -521,52 +680,93 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 	if req.DeadlineMillis > 0 {
 		deadline = admitted.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
 	}
-	route := routeSRUMMA
-	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
-		route = routeSmall
-	}
 	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
-	job := &schedJob{req: req, cs: cs, d: d, ctx: ctx}
-	task := &sched.Task{
-		Class:     cls,
-		Deadline:  deadline,
-		Cost:      flops,
-		Batchable: route == routeSmall,
-		LocKey:    locKey(cs, d),
-		Cancel:    ctx.Done(),
-		Payload:   job,
+
+	// Brownout: at BrownoutAt of queue capacity, shed the optional work —
+	// verification and batching — before the admission control starts
+	// refusing traffic outright.
+	brownout := false
+	if s.cfg.BrownoutAt > 0 {
+		brownout = float64(s.sched.Queued()) >= s.cfg.BrownoutAt*float64(s.cfg.QueueCap)
+		if brownout {
+			s.met.brownoutReqs.Inc()
+		}
+		s.met.brownoutG.Set(boolToInt64(brownout))
 	}
+
+	job := &schedJob{req: req, cs: cs, d: d, ctx: ctx, traced: traced}
+	if route == routeSRUMMA {
+		job.rec = s.newRecoverJob(s.cfg.ABFT && !brownout)
+	}
+
 	// Register the job BEFORE Submit: once submitted, the task can dispatch
 	// (and observers can react) before this goroutine runs another line, so
 	// the drain ledger must already include it.
 	s.jobs.Add(1)
 	defer s.jobs.Done()
-	if err := s.sched.Submit(task); err != nil {
-		if errors.Is(err, sched.ErrClosed) {
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+
+	var err error
+	inFlight := false
+	for attempt := 0; ; attempt++ {
+		task := &sched.Task{
+			Class:     cls,
+			Deadline:  deadline,
+			Cost:      flops,
+			Batchable: route == routeSmall && !brownout,
+			LocKey:    locKey(cs, d),
+			Cancel:    ctx.Done(),
+			Payload:   job,
+		}
+		if serr := s.sched.Submit(task); serr != nil {
+			if inFlight {
+				// A retry that cannot even queue: surface the run error the
+				// retry was trying to fix, not the admission refusal.
+				break
+			}
+			if errors.Is(serr, sched.ErrClosed) {
+				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+				return
+			}
+			ra := s.retryAfter()
+			s.met.reject()
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
 			return
 		}
-		ra := s.retryAfter()
-		s.met.reject()
-		w.Header().Set("Retry-After", strconv.Itoa(ra))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
-		return
-	}
-	s.met.admit()
+		if !inFlight {
+			s.met.admit()
+			inFlight = true
+		}
 
-	select {
-	case <-task.Done():
-	case <-ctx.Done():
-		// Deadline while queued or executing: the scheduler drops a queued
-		// task when it surfaces; an executing one finishes into the void.
-		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
-		return
+		select {
+		case <-task.Done():
+		case <-ctx.Done():
+			// Deadline while queued or executing: the scheduler drops a queued
+			// task when it surfaces; an executing one finishes into the void.
+			s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
+			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
+			return
+		}
+
+		err = task.Err()
+		if err == nil || job.rec == nil || attempt >= s.cfg.RetryBudget || !retryableRunError(err) {
+			break
+		}
+		t0 := time.Now()
+		s.met.noteRetry(job.rec.prepareRetry())
+		if s.rec != nil {
+			s.rec.RecordWall(s.cfg.NProcs, obs.KindRecover, t0, time.Now())
+		}
+		if !sleepCtx(ctx, retryBackoff(s.cfg.RetryBackoff, attempt)) {
+			s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
+			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
+			return
+		}
 	}
 
-	err := task.Err()
 	switch {
 	case err == nil:
+		s.recordBreaker(route, http.StatusOK)
 		total := time.Since(admitted)
 		s.met.finish(route, cls.String(), "ok", total, flops, false)
 		elapsed := job.finished.Sub(job.started)
@@ -593,6 +793,7 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
 	default:
+		s.recordBreaker(route, http.StatusInternalServerError)
 		s.met.finish(route, cls.String(), "error", 0, 0, false)
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{ID: req.ID, Error: err.Error()})
 	}
@@ -601,11 +802,7 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 // execute routes and runs one admitted request, settling metrics exactly
 // once. It returns either a success response or an error response with its
 // HTTP status.
-func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, admitted time.Time) (*MultiplyResponse, int, *ErrorResponse) {
-	route := routeSRUMMA
-	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
-		route = routeSmall
-	}
+func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, admitted time.Time, route string, traced bool) (*MultiplyResponse, int, *ErrorResponse) {
 	class := cls.String()
 	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
 
@@ -633,7 +830,27 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 		s.met.execStart()
 		queueed = time.Since(admitted)
 		t0 := time.Now()
-		out, err = s.runSRUMMA(ctx, tm, req, cs, d)
+		rj := s.newRecoverJob(s.cfg.ABFT)
+		for attempt := 0; ; attempt++ {
+			out, err = s.runSRUMMA(ctx, tm, req, cs, d, rj, traced)
+			if err == nil || attempt >= s.cfg.RetryBudget || !retryableRunError(err) {
+				break
+			}
+			var werr *armci.WatchdogError
+			if errors.As(err, &werr) {
+				// FIFO mode retries on the SAME team; a leaked-rank team is
+				// suspect, so surface the error and let recycleTeam replace it.
+				break
+			}
+			t0r := time.Now()
+			s.met.noteRetry(rj.prepareRetry())
+			if s.rec != nil {
+				s.rec.RecordWall(s.cfg.NProcs, obs.KindRecover, t0r, time.Now())
+			}
+			if !sleepCtx(ctx, retryBackoff(s.cfg.RetryBackoff, attempt)) {
+				break
+			}
+		}
 		execTime = time.Since(t0)
 		s.recycleTeam(tm, err)
 	}
@@ -711,8 +928,13 @@ func (s *Server) runSmall(ctx context.Context, req *MultiplyRequest, cs core.Cas
 }
 
 // runSRUMMA executes the request on a persistent engine team: distribute,
-// multiply under the request deadline, gather.
-func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyRequest, cs core.Case, d core.Dims) (*mat.Matrix, error) {
+// multiply under the request deadline, gather. rj (nil on the non-recovering
+// paths) carries the request's recovery state across retry attempts: a rank
+// that panics mid-job salvages its C segment on the unwind, and a retried
+// attempt reloads the salvage and hands the completion ledger to the
+// executor so only unfinished tasks re-execute. traced gates span recording
+// under head-sampling.
+func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyRequest, cs core.Case, d core.Dims, rj *recoverJob, traced bool) (*mat.Matrix, error) {
 	a := &mat.Matrix{Rows: req.ARows, Cols: req.ACols, Stride: req.ACols, Data: req.A}
 	b := &mat.Matrix{Rows: req.BRows, Cols: req.BCols, Stride: req.BCols, Data: req.B}
 	var cIn *mat.Matrix
@@ -722,17 +944,63 @@ func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyReq
 	cOpts := core.Options{
 		Case:          cs,
 		Flavor:        core.FlavorDirect,
+		MaxTaskK:      s.cfg.MaxTaskK,
 		KernelThreads: req.KernelThreads,
 		Cancel:        ctx.Done(),
 	}
 	if cOpts.KernelThreads <= 0 {
 		cOpts.KernelThreads = s.cfg.KernelThreads
 	}
+	if rj != nil {
+		cOpts.Ledger = rj.ledger
+		cOpts.ABFT = rj.abft
+		cOpts.ABFTTol = s.cfg.ABFTTol
+	}
 	da, db, dc := core.Dists(s.g, d, cs)
 	n := s.topo.NProcs
 	errs := make([]error, n)
 	co := driver.NewCollect(n)
-	_, err := tm.Run(func(c rt.Ctx) {
+	if s.cfg.TraceSample > 1 {
+		// Head-sampling: attach the recorder only for sampled requests. Safe
+		// because a team runs one job at a time.
+		if traced {
+			tm.SetRecorder(s.rec)
+		} else {
+			tm.SetRecorder(nil)
+		}
+	}
+	stats, err := tm.Run(func(rawC rt.Ctx) {
+		c := rawC
+		if s.chaos != nil {
+			// Chaos layering: the injector draws from process-wide op counters
+			// (so fault schedules advance across jobs) and the resilience layer
+			// sits on top because transport drops/corruption are invisible to
+			// ABFT — a corrupted OPERAND yields a consistent-but-wrong
+			// prediction, so it must be caught by transfer checksums, not sums.
+			c = faults.Resilient(s.chaos.Wrap(rawC), faults.RecoveryConfig{})
+		}
+		rank := c.Rank()
+		lr, lc := dc.LocalShape(rank)
+		var gc rt.Global
+		haveC := false
+		if rj != nil && rj.ledger != nil {
+			// Salvage hook: on panic (injected crash, real bug) copy this
+			// rank's C segment out before the unwind destroys the run, then
+			// re-panic so the team-level error handling still fires. Only the
+			// panic path salvages — a rank returning an error (e.g. exhausted
+			// ABFT recompute) holds a corrupted accumulation for an unmarked
+			// task, and resuming over it would double-add.
+			defer func() {
+				if p := recover(); p != nil {
+					if haveC {
+						if data := c.ReadBuf(c.Local(gc), 0, lr*lc); data != nil {
+							rj.save(rank, append([]float64(nil), data...))
+						}
+					}
+					panic(p)
+				}
+			}()
+		}
 		// Restore the per-request kernel-thread configuration explicitly:
 		// team ranks keep the previous request's setting warm, which is
 		// only correct if every request states its own.
@@ -741,15 +1009,30 @@ func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyReq
 		}
 		ga := driver.AllocBlock(c, da)
 		gb := driver.AllocBlock(c, db)
-		gc := driver.AllocBlock(c, dc)
+		gc = driver.AllocBlock(c, dc)
+		haveC = true
 		driver.LoadBlock(c, da, ga, a)
 		driver.LoadBlock(c, db, gb, b)
-		if cIn != nil {
+		if salv := rj.take(rank); salv != nil {
+			// Resume: start from the salvaged segment of the failed attempt;
+			// the ledger says which tasks it already contains.
+			c.WriteBuf(c.Local(gc), 0, salv)
+		} else if cIn != nil {
 			driver.LoadBlock(c, dc, gc, cIn)
 		}
-		errs[c.Rank()] = core.MultiplyEx(c, s.g, d, cOpts, req.alpha(), req.beta(), ga, gb, gc)
+		errs[rank] = core.MultiplyEx(c, s.g, d, cOpts, req.alpha(), req.beta(), ga, gb, gc)
 		co.Deposit(c, driver.StoreBlock(c, dc, gc))
 	})
+	if s.met != nil {
+		var det, rec int64
+		for _, st := range stats {
+			if st != nil {
+				det += st.ABFTDetected
+				rec += st.ABFTRecomputed
+			}
+		}
+		s.met.noteABFT(det, rec)
+	}
 	if err != nil {
 		return nil, err
 	}
