@@ -25,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
@@ -136,20 +137,66 @@ func parseClasses(spec string, deadline time.Duration) ([]classAssign, error) {
 type workItem struct {
 	mix   int
 	class string
-	body  []byte
+	body  []byte // wire-encoded (and, under -gzip, compressed) request body
 	want  *mat.Matrix
+
+	id         string
+	deadlineMs int64
+	wire       string // "json" or "binary"
+	gzip       bool
+	dig        *digestCell
+}
+
+// digestCell records the first result digest the server reports for one
+// operand set, so every later response to identical content — cache hit
+// or recompute — can be checked against it. A mismatch means the cache
+// returned a result for the wrong computation.
+type digestCell struct {
+	mu  sync.Mutex
+	val string
+}
+
+func (d *digestCell) check(dig string) error {
+	if d == nil || dig == "" {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.val == "" {
+		d.val = dig
+		return nil
+	}
+	if d.val != dig {
+		return fmt.Errorf("result digest %s does not match earlier digest %s for identical operands", dig, d.val)
+	}
+	return nil
 }
 
 // outcome is one completed request as observed by the client.
 type outcome struct {
-	mix     int
-	class   string
-	route   string
-	latency float64 // seconds, including queueing and transport
-	gflops  float64 // server-side execution rate
-	retries int     // 429 rounds before admission
-	missed  bool    // 504: deadline exceeded before completion
-	err     error
+	mix      int
+	class    string
+	route    string
+	latency  float64 // seconds, including queueing and transport
+	gflops   float64 // server-side execution rate
+	retries  int     // 429 rounds before admission
+	missed   bool    // 504: deadline exceeded before completion
+	cached   bool    // served from the result cache
+	bytesOut int64   // request body bytes shipped
+	bytesIn  int64   // response body bytes received
+	err      error
+}
+
+// byteCounter counts response bytes as they are read.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func (c *byteCounter) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // MixReport is the per-shape slice of the benchmark report.
@@ -175,12 +222,15 @@ type ClassReport struct {
 
 // Report is the BENCH_server.json document.
 type Report struct {
-	Addr        string `json:"addr"`
-	Concurrency int    `json:"concurrency"`
-	Requests    int    `json:"requests"`
-	Mix         string `json:"mix"`
-	Classes     string `json:"classes,omitempty"`
-	DeadlineMs  int64  `json:"deadline_ms,omitempty"`
+	Addr           string `json:"addr"`
+	Concurrency    int    `json:"concurrency"`
+	Requests       int    `json:"requests"`
+	Mix            string `json:"mix"`
+	Classes        string `json:"classes,omitempty"`
+	DeadlineMs     int64  `json:"deadline_ms,omitempty"`
+	Wire           string `json:"wire"`
+	Gzip           bool   `json:"gzip,omitempty"`
+	RepeatOperands int    `json:"repeat_operands,omitempty"`
 
 	OK             int     `json:"ok"`
 	Errors         int     `json:"errors"`
@@ -191,6 +241,13 @@ type Report struct {
 	P50Ms          float64 `json:"p50_ms"`
 	P90Ms          float64 `json:"p90_ms"`
 	P99Ms          float64 `json:"p99_ms"`
+
+	// Client-observed wire traffic and cache behavior.
+	BytesSent       int64   `json:"bytes_sent"`
+	BytesReceived   int64   `json:"bytes_received"`
+	CachedResponses int     `json:"cached_responses,omitempty"`
+	CacheHits       int64   `json:"cache_hits,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
 
 	Mixes      []MixReport            `json:"mixes"`
 	ClassStats map[string]ClassReport `json:"class_stats,omitempty"`
@@ -214,8 +271,13 @@ func main() {
 	wait := flag.Duration("wait", 10*time.Second, "max time to wait for the server to report healthy")
 	seed := flag.Uint64("seed", 1, "base seed for generated matrices")
 	maxRetries := flag.Int("max-retries", 100, "429 retry rounds per request before giving up")
+	wire := flag.String("wire", "json", `request wire format: "json" or "binary"`)
+	gzipReq := flag.Bool("gzip", false, "gzip-compress request bodies (and, on the binary wire, accept gzip responses)")
+	repeatOps := flag.Int("repeat-operands", 1, "distinct operand sets cycled per shape/class slot; with 1 (the default) every request for a shape repeats the same operands, so a server-side result cache hits on every revisit")
+	minCacheHits := flag.Int64("min-cache-hits", -1, "fail unless the server reports at least this many result-cache hits after the run (-1: no check)")
 	benchSched := flag.Bool("bench-sched", false, "run the self-contained scheduler benchmark (ignores -addr) and exit")
 	benchChaos := flag.Bool("chaos", false, "run the self-contained crash-recovery benchmark (ignores -addr) and exit")
+	benchWire := flag.Bool("bench-wire", false, "run the self-contained wire-format/cache benchmark (ignores -addr) and exit")
 	flag.Parse()
 
 	if *benchSched {
@@ -225,6 +287,16 @@ func main() {
 	if *benchChaos {
 		runBenchChaos(*out, *seed)
 		return
+	}
+	if *benchWire {
+		runBenchWire(*out, *seed)
+		return
+	}
+	if *wire != "json" && *wire != "binary" {
+		log.Fatalf("bad -wire %q (want json or binary)", *wire)
+	}
+	if *repeatOps < 1 {
+		log.Fatalf("bad -repeat-operands %d (want >= 1)", *repeatOps)
 	}
 
 	shapes, err := parseMix(*mixSpec)
@@ -239,7 +311,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	items := buildItems(shapes, pattern, *seed)
+	items := buildItems(shapes, pattern, *seed, *repeatOps, *wire, *gzipReq)
 	pick := func(idx int) workItem {
 		row := items[idx%len(items)]
 		return row[idx%len(row)]
@@ -250,10 +322,17 @@ func main() {
 	rep := buildReport(*addr, *concurrency, *requests, *mixSpec, shapes, results, wall)
 	rep.Classes = *classSpec
 	rep.DeadlineMs = deadline.Milliseconds()
+	rep.Wire = *wire
+	rep.Gzip = *gzipReq
+	rep.RepeatOperands = *repeatOps
 	if len(pattern) > 0 {
 		rep.ClassStats = classStats(results)
 	}
 	rep.ServerMetrics = fetchMetrics(*addr)
+	if rep.ServerMetrics != nil && rep.ServerMetrics.Cache != nil {
+		rep.CacheHits = rep.ServerMetrics.Cache.Hits
+		rep.CacheHitRate = rep.ServerMetrics.Cache.HitRate
+	}
 
 	if rep.Errors > 0 {
 		for _, r := range results {
@@ -263,47 +342,91 @@ func main() {
 		}
 	}
 	writeReport(rep, *out)
-	fmt.Printf("%d ok, %d errors, %d deadline misses, %d retry rounds (429), %.2f req/s, p50 %.1f ms, p99 %.1f ms\n",
-		rep.OK, rep.Errors, rep.DeadlineMisses, rep.Retries429, rep.ThroughputRPS, rep.P50Ms, rep.P99Ms)
+	fmt.Printf("%d ok, %d errors, %d deadline misses, %d retry rounds (429), %.2f req/s, p50 %.1f ms, p99 %.1f ms [%s wire, %.1f KB out, %.1f KB in, %d cached]\n",
+		rep.OK, rep.Errors, rep.DeadlineMisses, rep.Retries429, rep.ThroughputRPS, rep.P50Ms, rep.P99Ms,
+		rep.Wire, float64(rep.BytesSent)/1024, float64(rep.BytesReceived)/1024, rep.CachedResponses)
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+	if *minCacheHits >= 0 && rep.CacheHits < *minCacheHits {
+		log.Fatalf("server reports %d result-cache hits, want >= %d (is the server running with -cache-entries?)",
+			rep.CacheHits, *minCacheHits)
+	}
 }
 
-// buildItems pre-generates one template per (mix entry, class slot): the
-// request body bytes and the serial-kernel reference result. Bodies are
-// marshaled once so the request loop allocates nothing per request. With
-// no class pattern each row has a single untagged entry.
-func buildItems(shapes []shape, pattern []classAssign, seed uint64) [][]workItem {
+// encodeBody marshals one request onto the chosen wire, optionally
+// gzip-compressed, exactly as issue() will ship it. The binary encoding
+// carries only shape/scalars/operands; ID, class and deadline ride as
+// X-Srumma-* headers set at send time.
+func encodeBody(req *server.MultiplyRequest, wire string, gz bool) ([]byte, error) {
+	var raw []byte
+	var err error
+	if wire == "binary" {
+		raw, err = server.EncodeBinaryRequest(req)
+	} else {
+		raw, err = json.Marshal(req)
+	}
+	if err != nil || !gz {
+		return raw, err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw)
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// buildItems pre-generates one template per (mix entry, class slot,
+// operand variant): the request body bytes and the serial-kernel
+// reference result. Bodies are marshaled once so the request loop
+// allocates nothing per request. With no class pattern each row has a
+// single untagged entry per variant; variants > 1 cycles distinct
+// operand sets through the same shape so a server-side result cache sees
+// a mix of repeats and fresh content.
+func buildItems(shapes []shape, pattern []classAssign, seed uint64, variants int, wire string, gz bool) [][]workItem {
 	slots := pattern
 	if len(slots) == 0 {
 		slots = []classAssign{{}}
 	}
+	if variants < 1 {
+		variants = 1
+	}
 	items := make([][]workItem, len(shapes))
 	for i, sh := range shapes {
-		a := mat.Random(sh.m, sh.k, seed+uint64(3*i))
-		b := mat.Random(sh.k, sh.n, seed+uint64(3*i)+1)
-		want := mat.New(sh.m, sh.n)
-		if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
-			log.Fatal(err)
-		}
-		items[i] = make([]workItem, len(slots))
-		for j, slot := range slots {
-			req := server.MultiplyRequest{
-				ID:    fmt.Sprintf("load-%s", sh),
-				ARows: sh.m, ACols: sh.k, A: a.Data,
-				BRows: sh.k, BCols: sh.n, B: b.Data,
-				Class:          slot.name,
-				DeadlineMillis: slot.deadlineMs,
-			}
-			if slot.name != "" {
-				req.ID = fmt.Sprintf("load-%s-%s", sh, slot.name)
-			}
-			body, err := json.Marshal(req)
-			if err != nil {
+		items[i] = make([]workItem, 0, len(slots)*variants)
+		for v := 0; v < variants; v++ {
+			vseed := seed + uint64(3*i) + uint64(v)*1_000_003
+			a := mat.Random(sh.m, sh.k, vseed)
+			b := mat.Random(sh.k, sh.n, vseed+1)
+			want := mat.New(sh.m, sh.n)
+			if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
 				log.Fatal(err)
 			}
-			items[i][j] = workItem{mix: i, class: slot.name, body: body, want: want}
+			// One digest cell per operand set: every response to this
+			// content must report the same result digest.
+			cell := &digestCell{}
+			for _, slot := range slots {
+				req := server.MultiplyRequest{
+					ID:    fmt.Sprintf("load-%s", sh),
+					ARows: sh.m, ACols: sh.k, A: a.Data,
+					BRows: sh.k, BCols: sh.n, B: b.Data,
+					Class:          slot.name,
+					DeadlineMillis: slot.deadlineMs,
+				}
+				if slot.name != "" {
+					req.ID = fmt.Sprintf("load-%s-%s", sh, slot.name)
+				}
+				body, err := encodeBody(&req, wire, gz)
+				if err != nil {
+					log.Fatal(err)
+				}
+				items[i] = append(items[i], workItem{
+					mix: i, class: slot.name, body: body, want: want,
+					id: req.ID, deadlineMs: slot.deadlineMs, wire: wire, gzip: gz, dig: cell,
+				})
+			}
 		}
 	}
 	return items
@@ -354,15 +477,52 @@ func waitHealthy(addr string, wait time.Duration) error {
 	}
 }
 
+// newWireRequest builds one HTTP request for it, setting the wire's
+// content type and, on the binary wire, the X-Srumma-* scalar headers
+// that have no binary body field.
+func newWireRequest(addr string, it workItem) (*http.Request, error) {
+	req, err := http.NewRequest(http.MethodPost, addr+"/v1/multiply", bytes.NewReader(it.body))
+	if err != nil {
+		return nil, err
+	}
+	if it.wire == "binary" {
+		req.Header.Set("Content-Type", server.ContentTypeBinary)
+		req.Header.Set("Accept", server.ContentTypeBinaryResult)
+		if it.id != "" {
+			req.Header.Set("X-Srumma-Id", it.id)
+		}
+		if it.class != "" {
+			req.Header.Set("X-Srumma-Class", it.class)
+		}
+		if it.deadlineMs > 0 {
+			req.Header.Set("X-Srumma-Deadline-Ms", strconv.FormatInt(it.deadlineMs, 10))
+		}
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if it.gzip {
+		req.Header.Set("Content-Encoding", "gzip")
+		if it.wire == "binary" {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+	}
+	return req, nil
+}
+
 // issue posts one request, retrying on 429 backpressure (honoring
 // Retry-After but capping the pause so load tests finish promptly). A 504
 // is a deadline miss — an expected outcome under overload, reported
 // separately from errors.
 func issue(client *http.Client, addr string, it workItem, verify bool, tol float64, maxRetries int) outcome {
-	o := outcome{mix: it.mix, class: it.class}
+	o := outcome{mix: it.mix, class: it.class, bytesOut: int64(len(it.body))}
 	start := time.Now()
 	for {
-		resp, err := client.Post(addr+"/v1/multiply", "application/json", bytes.NewReader(it.body))
+		hreq, err := newWireRequest(addr, it)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		resp, err := client.Do(hreq)
 		if err != nil {
 			o.err = err
 			return o
@@ -386,38 +546,79 @@ func issue(client *http.Client, addr string, it workItem, verify bool, tol float
 			o.missed = true
 			return o
 		}
-		if !verify && resp.StatusCode == http.StatusOK {
+		cr := &byteCounter{r: resp.Body}
+		if resp.StatusCode != http.StatusOK {
+			var eresp struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(cr).Decode(&eresp)
+			resp.Body.Close()
+			o.err = fmt.Errorf("status %d: %s", resp.StatusCode, eresp.Error)
+			return o
+		}
+		if !verify {
 			// Latency-only mode: decoding a big result matrix costs real
 			// CPU that would perturb the measurement on small machines.
-			io.Copy(io.Discard, resp.Body)
+			io.Copy(io.Discard, cr)
 			resp.Body.Close()
 			o.latency = time.Since(start).Seconds()
+			o.bytesIn = cr.n
+			o.cached = resp.Header.Get("X-Srumma-Cached") == "1"
 			return o
 		}
-		var mresp server.MultiplyResponse
-		decErr := json.NewDecoder(resp.Body).Decode(&mresp)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			o.err = fmt.Errorf("status %d", resp.StatusCode)
-			return o
-		}
-		if decErr != nil {
-			o.err = decErr
-			return o
+
+		var got *mat.Matrix
+		if strings.HasPrefix(resp.Header.Get("Content-Type"), server.ContentTypeBinaryResult) {
+			var body io.Reader = cr
+			if resp.Header.Get("Content-Encoding") == "gzip" {
+				gz, err := gzip.NewReader(cr)
+				if err != nil {
+					resp.Body.Close()
+					o.err = err
+					return o
+				}
+				body = gz
+			}
+			rows, cols, data, decErr := server.DecodeBinaryResponse(body)
+			resp.Body.Close()
+			if decErr != nil {
+				o.err = decErr
+				return o
+			}
+			got = &mat.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: data}
+			o.route = resp.Header.Get("X-Srumma-Route")
+			o.gflops, _ = strconv.ParseFloat(resp.Header.Get("X-Srumma-Gflops"), 64)
+			o.cached = resp.Header.Get("X-Srumma-Cached") == "1"
+			if err := it.dig.check(resp.Header.Get("X-Srumma-Digest")); err != nil {
+				o.err = err
+				return o
+			}
+		} else {
+			var mresp server.MultiplyResponse
+			decErr := json.NewDecoder(cr).Decode(&mresp)
+			resp.Body.Close()
+			if decErr != nil {
+				o.err = decErr
+				return o
+			}
+			got = &mat.Matrix{Rows: mresp.Rows, Cols: mresp.Cols, Stride: mresp.Cols, Data: mresp.C}
+			o.route = mresp.Route
+			o.gflops = mresp.GFlops
+			o.cached = mresp.Cached
+			if err := it.dig.check(mresp.Digest); err != nil {
+				o.err = err
+				return o
+			}
 		}
 		o.latency = time.Since(start).Seconds()
-		o.route = mresp.Route
-		o.gflops = mresp.GFlops
-		if verify {
-			got := &mat.Matrix{Rows: mresp.Rows, Cols: mresp.Cols, Stride: mresp.Cols, Data: mresp.C}
-			if got.Rows != it.want.Rows || got.Cols != it.want.Cols {
-				o.err = fmt.Errorf("shape %dx%d, want %dx%d", got.Rows, got.Cols, it.want.Rows, it.want.Cols)
-				return o
-			}
-			if diff := mat.MaxAbsDiff(got, it.want); diff > tol {
-				o.err = fmt.Errorf("result mismatch vs serial kernel: max abs diff %g > %g", diff, tol)
-				return o
-			}
+		o.bytesIn = cr.n
+		if got.Rows != it.want.Rows || got.Cols != it.want.Cols {
+			o.err = fmt.Errorf("shape %dx%d, want %dx%d", got.Rows, got.Cols, it.want.Rows, it.want.Cols)
+			return o
+		}
+		if diff := mat.MaxAbsDiff(got, it.want); diff > tol {
+			o.err = fmt.Errorf("result mismatch vs serial kernel: max abs diff %g > %g", diff, tol)
+			return o
 		}
 		return o
 	}
@@ -446,6 +647,8 @@ func buildReport(addr string, concurrency, requests int, mixSpec string, shapes 
 	counts := make([]int, len(shapes))
 	for _, r := range results {
 		rep.Retries429 += r.retries
+		rep.BytesSent += r.bytesOut
+		rep.BytesReceived += r.bytesIn
 		if r.missed {
 			rep.DeadlineMisses++
 			continue
@@ -455,6 +658,9 @@ func buildReport(addr string, concurrency, requests int, mixSpec string, shapes 
 			continue
 		}
 		rep.OK++
+		if r.cached {
+			rep.CachedResponses++
+		}
 		all = append(all, r.latency)
 		perMix[r.mix] = append(perMix[r.mix], r.latency)
 		gflops[r.mix] += r.gflops
@@ -1319,5 +1525,225 @@ func runBenchChaos(out string, seed uint64) {
 	if rep.Resumed.ReexecutedTasks >= rep.Restart.ReexecutedTasks {
 		log.Fatalf("resume re-executed %d tasks, not fewer than restart's %d: the ledger preserved nothing",
 			rep.Resumed.ReexecutedTasks, rep.Restart.ReexecutedTasks)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained wire-format / cache benchmark (-bench-wire):
+// BENCH_server.json.
+
+const (
+	wireBenchDim      = 256
+	wireBenchRequests = 24
+)
+
+// WireArmReport is one arm of the wire benchmark: one wire format against
+// one server configuration, identical operands throughout.
+type WireArmReport struct {
+	Wire          string  `json:"wire"`
+	CacheEnabled  bool    `json:"cache_enabled"`
+	Requests      int     `json:"requests"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	RequestBytes  int64   `json:"request_bytes"`
+	ResponseBytes int64   `json:"response_bytes_mean"`
+	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// WireBenchReport is the BENCH_server.json document produced by
+// -bench-wire: the same GEMM served three ways — JSON wire, binary wire
+// (cache off for both), and binary wire against a warm result cache —
+// with client-observed latency quantiles, exact wire bytes, and the
+// bit-identity of every response against the first computed result.
+type WireBenchReport struct {
+	Shape    string `json:"shape"`
+	Requests int    `json:"requests_per_arm"`
+
+	JSON   WireArmReport `json:"json"`
+	Binary WireArmReport `json:"binary"`
+	Cached WireArmReport `json:"cached"`
+
+	// BinarySpeedupX is JSON p50 over binary p50 (cache off for both):
+	// the float↔decimal-text cost eliminated by the dense format.
+	BinarySpeedupX float64 `json:"binary_speedup_x"`
+	// CachedSpeedupX is binary p50 over cached p50: the compute and
+	// queueing eliminated by a content-address hit.
+	CachedSpeedupX float64 `json:"cached_speedup_x"`
+	// RequestBytesRatioX is the JSON request body size over the binary one.
+	RequestBytesRatioX float64 `json:"request_bytes_ratio_x"`
+	BitIdentical       bool    `json:"bit_identical"`
+}
+
+// postWire issues one request and returns the client-observed latency,
+// the decoded result and the response metadata the wire benchmark needs.
+func postWire(client *http.Client, addr string, it workItem) (lat float64, got []float64, respBytes int64, dig string, cached bool, err error) {
+	hreq, err := newWireRequest(addr, it)
+	if err != nil {
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	cr := &byteCounter{r: resp.Body}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(cr)
+		err = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), server.ContentTypeBinaryResult) {
+		_, _, got, err = server.DecodeBinaryResponse(cr)
+		dig = resp.Header.Get("X-Srumma-Digest")
+		cached = resp.Header.Get("X-Srumma-Cached") == "1"
+	} else {
+		var m server.MultiplyResponse
+		if err = json.NewDecoder(cr).Decode(&m); err == nil {
+			got, dig, cached = m.C, m.Digest, m.Cached
+		}
+	}
+	lat = time.Since(t0).Seconds()
+	respBytes = cr.n
+	return
+}
+
+// runWireArm serves wireBenchRequests identical GEMMs from a fresh
+// in-process server and times each round trip end to end. A warmup
+// request (uncounted) heats the engine team, the scratch pools and — for
+// the cached arm — the result cache, so the timed loop measures each
+// path's steady state. Returns the arm report and whether every timed
+// response was bit-identical to the warmup's result (the engine is
+// deterministic, so recomputes must match, and a cache hit returns the
+// warmup's computation by construction).
+func runWireArm(wire string, cacheEntries int, it workItem, want *mat.Matrix, tol float64) (WireArmReport, bool) {
+	s, err := server.New(server.Config{
+		NProcs:         benchNProcs,
+		Teams:          1,
+		DefaultTimeout: 60 * time.Second,
+		CacheEntries:   cacheEntries,
+	})
+	if err != nil {
+		log.Fatalf("wire bench (%s): %v", wire, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	_, warm, _, _, _, err := postWire(client, ts.URL, it)
+	if err != nil {
+		log.Fatalf("wire bench (%s) warmup: %v", wire, err)
+	}
+	ref := &mat.Matrix{Rows: want.Rows, Cols: want.Cols, Stride: want.Cols, Data: warm}
+	if diff := mat.MaxAbsDiff(ref, want); diff > tol {
+		log.Fatalf("wire bench (%s): warmup result diverges from serial kernel by %g", wire, diff)
+	}
+
+	bit := true
+	lats := make([]float64, 0, wireBenchRequests)
+	var respBytes int64
+	for i := 0; i < wireBenchRequests; i++ {
+		lat, got, rb, _, cached, err := postWire(client, ts.URL, it)
+		if err != nil {
+			log.Fatalf("wire bench (%s) request %d: %v", wire, i, err)
+		}
+		if cacheEntries > 0 && !cached {
+			log.Fatalf("wire bench (%s) request %d: expected a cache hit after warmup", wire, i)
+		}
+		if len(got) != len(warm) {
+			bit = false
+		} else {
+			for j := range got {
+				if got[j] != warm[j] {
+					bit = false
+					break
+				}
+			}
+		}
+		lats = append(lats, lat)
+		respBytes += rb
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	arm := WireArmReport{
+		Wire: wire, CacheEnabled: cacheEntries > 0, Requests: len(lats),
+		P50Ms:         percentile(lats, 0.50) * 1e3,
+		P99Ms:         percentile(lats, 0.99) * 1e3,
+		MeanMs:        sum / float64(len(lats)) * 1e3,
+		RequestBytes:  int64(len(it.body)),
+		ResponseBytes: respBytes / int64(len(lats)),
+	}
+	if snap := s.Metrics(); snap.Cache != nil {
+		arm.CacheHitRate = snap.Cache.HitRate
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Fatalf("wire bench (%s) shutdown: %v", wire, err)
+	}
+	return arm, bit
+}
+
+// runBenchWire measures what the binary wire and the content-addressed
+// result cache buy on the serving hot path: one 256^3 GEMM served over
+// the JSON wire, over the binary wire, and out of a warm result cache.
+func runBenchWire(out string, seed uint64) {
+	dim := wireBenchDim
+	a := mat.Random(dim, dim, seed+200)
+	b := mat.Random(dim, dim, seed+201)
+	want := mat.New(dim, dim)
+	if err := mat.Gemm(false, false, 1, a, b, 0, want); err != nil {
+		log.Fatal(err)
+	}
+	req := server.MultiplyRequest{
+		ID:    "bench-wire",
+		ARows: dim, ACols: dim, A: a.Data,
+		BRows: dim, BCols: dim, B: b.Data,
+	}
+	mk := func(wire string) workItem {
+		body, err := encodeBody(&req, wire, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return workItem{body: body, want: want, id: req.ID, wire: wire}
+	}
+	itJSON, itBin := mk("json"), mk("binary")
+	tol := 1e-9 // engine vs serial: float-summation order only
+
+	rep := WireBenchReport{
+		Shape:        shape{dim, dim, dim}.String(),
+		Requests:     wireBenchRequests,
+		BitIdentical: true,
+	}
+	var bit bool
+	rep.JSON, bit = runWireArm("json", 0, itJSON, want, tol)
+	rep.BitIdentical = rep.BitIdentical && bit
+	rep.Binary, bit = runWireArm("binary", 0, itBin, want, tol)
+	rep.BitIdentical = rep.BitIdentical && bit
+	rep.Cached, bit = runWireArm("binary", 64, itBin, want, tol)
+	rep.BitIdentical = rep.BitIdentical && bit
+
+	if p50 := rep.Binary.P50Ms; p50 > 0 {
+		rep.BinarySpeedupX = rep.JSON.P50Ms / p50
+	}
+	if p50 := rep.Cached.P50Ms; p50 > 0 {
+		rep.CachedSpeedupX = rep.Binary.P50Ms / p50
+	}
+	if rb := rep.Binary.RequestBytes; rb > 0 {
+		rep.RequestBytesRatioX = float64(rep.JSON.RequestBytes) / float64(rb)
+	}
+
+	writeJSONFile(&rep, out)
+	fmt.Printf("wire: %s p50 %.1f ms (json) vs %.1f ms (binary, %.2fx) vs %.1f ms (cached, %.2fx more); request %.0f KB (json) vs %.0f KB (binary, %.2fx); bit-identical %v\n",
+		rep.Shape, rep.JSON.P50Ms, rep.Binary.P50Ms, rep.BinarySpeedupX,
+		rep.Cached.P50Ms, rep.CachedSpeedupX,
+		float64(rep.JSON.RequestBytes)/1024, float64(rep.Binary.RequestBytes)/1024,
+		rep.RequestBytesRatioX, rep.BitIdentical)
+	if !rep.BitIdentical {
+		log.Fatal("wire/cache responses are NOT bit-identical across arms")
 	}
 }

@@ -78,6 +78,12 @@ type traceDoc struct {
 	WaitSeconds    float64 `json:"wait_s"`
 	ComputeSeconds float64 `json:"compute_s"`
 
+	// OverlapFloor records the -min-overlap gate the run was held to
+	// (omitted when the gate was off). A recorded floor turns this file
+	// into a regression baseline: CI re-runs the same configuration and
+	// fails if the measured ratio drops below it.
+	OverlapFloor float64 `json:"overlap_floor,omitempty"`
+
 	// BusySeconds is per-kind busy time summed over ranks.
 	BusySeconds map[string]float64 `json:"busy_s"`
 
@@ -102,6 +108,7 @@ func main() {
 	validate := flag.String("validate", "", "validate a Chrome trace-event JSON file and exit")
 	chaos := flag.Bool("chaos", false, "inject deterministic faults into the simulated fabric (drops, delays, one straggler)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed (with -chaos)")
+	minOverlap := flag.Float64("min-overlap", 0, "fail unless the measured overlap ratio reaches this floor (0: no gate)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -161,6 +168,7 @@ func main() {
 	doc.OverlapRatio = ratio
 	doc.WaitSeconds = wait
 	doc.ComputeSeconds = compute
+	doc.OverlapFloor = *minOverlap
 	doc.BusySeconds = obs.Summary(events)
 	if *out != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
@@ -171,6 +179,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote run summary to %s\n", *out)
+	}
+	// Gate after the summary is written, so a regressing run still leaves
+	// its evidence on disk.
+	if *minOverlap > 0 && ratio < *minOverlap {
+		log.Fatalf("overlap ratio %.3f regressed below the %.3f floor", ratio, *minOverlap)
 	}
 }
 

@@ -9,6 +9,14 @@ package server
 // paid once per batch instead of once per request. Results are bit
 // identical to individual runs because mat.GemmParallel's stripe split is
 // thread-count-invariant.
+//
+// With the content-addressed cache on, batched jobs that share an operand
+// (the LocKey sort puts equal shapes — and therefore repeated operands —
+// adjacent) reference ONE interned canonical buffer: the block table
+// dedups at decode, so the shared matrix is resident once and each
+// gemmLocal in the batch reads the same backing array instead of its own
+// copy ("pack/ship it once"; server.cache.block_dedup counts the
+// duplicates avoided).
 
 import (
 	"context"

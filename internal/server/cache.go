@@ -1,0 +1,377 @@
+package server
+
+// Content addressing for the serving layer. Every operand is identified
+// by the SHA-256 of its shape-prefixed little-endian byte image — a
+// wire-independent digest, so the same matrix sent over JSON and over the
+// binary wire hashes identically. On top of the digests sit two
+// structures:
+//
+//   - resultCache: a bounded LRU keyed by the full multiply identity
+//     (digest_A, digest_B, case, alpha, beta, digest_C). A hit returns
+//     the cached result matrix and skips admission queueing, the
+//     scheduler, and the engine entirely. Hits are bit-identical to a
+//     fresh compute because the engine itself is: GemmParallel partitions
+//     deterministically and is pinned thread-count-invariant, so the
+//     same operand bytes always produce the same result bytes.
+//
+//   - blockTable: a refcounted digest → operand-bytes intern table. When
+//     concurrent or batched requests share an operand (the shared-weight
+//     serving shape), every request after the first adopts the interned
+//     slice, its own pooled decode buffer is returned immediately, and
+//     the scheduler's LocKey coalescing packs the one canonical buffer
+//     once per team job instead of once per request.
+//
+// Cached results are always freshly-allocated matrices (mat.New or
+// engine Gather output) — never pooled request storage — so retaining
+// them in the cache cannot alias a recycled decode buffer.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sync"
+	"time"
+
+	"srumma/internal/core"
+	"srumma/internal/mat"
+	"srumma/internal/obs"
+)
+
+// digest is a SHA-256 content address.
+type digest = [32]byte
+
+// digester bundles a SHA-256 state with scratch space for the shape prefix
+// and the sum. Pooling the whole bundle keeps steady-state digest
+// computation allocation-free: writing a stack array into hash.Hash (or
+// summing into one) would force it to escape on every call.
+type digester struct {
+	h     hash.Hash
+	shape [16]byte
+	sum   [sha256.Size]byte
+}
+
+var digesterPool = sync.Pool{New: func() any { return &digester{h: sha256.New()} }}
+
+// digestMatrix content-addresses one operand: SHA-256 over a 16-byte
+// little-endian (rows, cols) prefix followed by the little-endian float64
+// image of data. The shape prefix keeps a 2x8 and an 8x2 with identical
+// elements distinct; the LE image makes the digest equal across wires and
+// hosts.
+func digestMatrix(rows, cols int, data []float64) digest {
+	dg := digesterPool.Get().(*digester)
+	h := dg.h
+	h.Reset()
+	binary.LittleEndian.PutUint64(dg.shape[0:], uint64(rows))
+	binary.LittleEndian.PutUint64(dg.shape[8:], uint64(cols))
+	h.Write(dg.shape[:])
+	if hostLittleEndian {
+		h.Write(floatBytes(data))
+	} else {
+		var chunk [8192]byte
+		for len(data) > 0 {
+			n := len(data)
+			if n > len(chunk)/8 {
+				n = len(chunk) / 8
+			}
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(data[i]))
+			}
+			h.Write(chunk[:8*n])
+			data = data[n:]
+		}
+	}
+	h.Sum(dg.sum[:0])
+	d := dg.sum
+	digesterPool.Put(dg)
+	return d
+}
+
+// cacheKey is the full identity of one multiply: operand content, the
+// transpose case, and the exact scalar bits. digC is the zero digest when
+// beta == 0 (C unread). Scalars are keyed by their IEEE bit patterns so
+// -0.0 and 0.0 — which can produce different result bits — stay distinct.
+type cacheKey struct {
+	a, b, cIn digest
+	cs        core.Case
+	alphaBits uint64
+	betaBits  uint64
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	out     mat.Matrix
+	dig     digest // result digest, echoed on every hit
+	bytes   int64
+	expires time.Time
+	elem    *list.Element
+}
+
+// CacheStats is the result-cache slice of a metrics snapshot.
+type CacheStats struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	Expired    int64   `json:"expired"`
+	Entries    int64   `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	BlockDedup int64   `json:"block_dedup"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// resultCache is the bounded LRU result store. All methods are
+// goroutine-safe; the cached matrices themselves are immutable by
+// convention (handlers copy-on-write into responses only in the sense of
+// encoding them — nothing mutates out.Data after insert).
+type resultCache struct {
+	mu         sync.Mutex
+	entries    map[cacheKey]*cacheEntry
+	lru        *list.List // front = most recent
+	maxEntries int
+	maxBytes   int64
+	ttl        time.Duration
+	bytes      int64
+	now        func() time.Time // injectable for TTL tests
+
+	hits, misses, evictions, expired *obs.Counter
+	gEntries, gBytes                 *obs.Gauge
+}
+
+func newResultCache(maxEntries int, maxBytes int64, ttl time.Duration, reg *obs.Registry) *resultCache {
+	return &resultCache{
+		entries:    make(map[cacheKey]*cacheEntry),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ttl:        ttl,
+		now:        time.Now,
+		hits:       reg.Counter("server.cache.hits"),
+		misses:     reg.Counter("server.cache.misses"),
+		evictions:  reg.Counter("server.cache.evictions"),
+		expired:    reg.Counter("server.cache.expired"),
+		gEntries:   reg.Gauge("server.cache.entries"),
+		gBytes:     reg.Gauge("server.cache.bytes"),
+	}
+}
+
+// get returns the cached result for key, refreshing its LRU position. A
+// TTL-expired entry is removed and reported as a miss.
+func (c *resultCache) get(key cacheKey) (mat.Matrix, digest, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return mat.Matrix{}, digest{}, false
+	}
+	if c.ttl > 0 && c.now().After(e.expires) {
+		c.remove(e)
+		c.expired.Inc()
+		c.misses.Inc()
+		return mat.Matrix{}, digest{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits.Inc()
+	return e.out, e.dig, true
+}
+
+// put inserts (or refreshes) a result, then evicts from the LRU tail
+// until both bounds hold. out must be freshly allocated — the cache takes
+// ownership of its backing array.
+func (c *resultCache) put(key cacheKey, out mat.Matrix, dig digest) {
+	size := int64(len(out.Data)) * 8
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return // larger than the whole cache; not worth evicting everything
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		if c.ttl > 0 {
+			e.expires = c.now().Add(c.ttl)
+		}
+		return
+	}
+	e := &cacheEntry{key: key, out: out, dig: dig, bytes: size}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += size
+	for (c.maxEntries > 0 && len(c.entries) > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.remove(tail.Value.(*cacheEntry))
+		c.evictions.Inc()
+	}
+	c.gEntries.Set(int64(len(c.entries)))
+	c.gBytes.Set(c.bytes)
+}
+
+// remove unlinks e. Caller holds c.mu.
+func (c *resultCache) remove(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	c.gEntries.Set(int64(len(c.entries)))
+	c.gBytes.Set(c.bytes)
+}
+
+// len reports the live entry count (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// stats snapshots the cache counters.
+func (c *resultCache) stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
+		Entries:   c.gEntries.Load(),
+		Bytes:     c.gBytes.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Operand interning.
+
+type blockRef struct {
+	data []float64
+	buf  *alignedBuf // pooled storage to return at refcount zero; nil for JSON-wire operands
+	refs int
+}
+
+// blockTable interns operand buffers by content digest so requests that
+// ship the same matrix share one canonical copy for their lifetime.
+type blockTable struct {
+	mu     sync.Mutex
+	blocks map[digest]*blockRef
+	pool   *bufPool
+	dedup  *obs.Counter // interned adoptions (a duplicate buffer avoided)
+}
+
+func newBlockTable(pool *bufPool, reg *obs.Registry) *blockTable {
+	return &blockTable{
+		blocks: make(map[digest]*blockRef),
+		pool:   pool,
+		dedup:  reg.Counter("server.cache.block_dedup"),
+	}
+}
+
+// intern registers (dig, data) and returns the canonical slice for that
+// content. If the digest is already live, the caller's own buffer is
+// returned to the pool and the existing copy adopted. buf is the pooled
+// storage backing data (nil when data is not pooled, e.g. JSON-decoded).
+// Every successful intern must be paired with one release(dig).
+func (t *blockTable) intern(dig digest, data []float64, buf *alignedBuf) []float64 {
+	t.mu.Lock()
+	ref, ok := t.blocks[dig]
+	if ok {
+		ref.refs++
+		t.mu.Unlock()
+		t.dedup.Inc()
+		if buf != nil {
+			t.pool.put(buf)
+		}
+		return ref.data
+	}
+	t.blocks[dig] = &blockRef{data: data, buf: buf, refs: 1}
+	t.mu.Unlock()
+	return data
+}
+
+// release drops one reference to dig, returning the canonical buffer to
+// the pool when the last holder leaves.
+func (t *blockTable) release(dig digest) {
+	t.mu.Lock()
+	ref, ok := t.blocks[dig]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	ref.refs--
+	if ref.refs > 0 {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.blocks, dig)
+	t.mu.Unlock()
+	if ref.buf != nil {
+		t.pool.put(ref.buf)
+	}
+}
+
+// abandon is release for a request whose engine run may have leaked rank
+// goroutines still reading the canonical buffer (watchdog errors,
+// deadline-abandoned dispatches): the reference is dropped but the buffer
+// is permanently withheld from the pool — for every current holder — so a
+// zombie reader can never observe a recycled decode landing in it.
+func (t *blockTable) abandon(dig digest) {
+	t.mu.Lock()
+	if ref, ok := t.blocks[dig]; ok {
+		ref.buf = nil // GC reclaims it once the last reader drops the slice
+	}
+	t.mu.Unlock()
+	t.release(dig)
+}
+
+// live reports the number of interned blocks (tests).
+func (t *blockTable) live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.blocks)
+}
+
+// dedupCount reports how many duplicate operand shipments interning
+// avoided.
+func (t *blockTable) dedupCount() int64 { return t.dedup.Load() }
+
+// ---------------------------------------------------------------------------
+// Server-side digest plumbing.
+
+// computeDigests content-addresses wr's operands, interns them in the
+// block table, and builds the request's cache key. dims must already have
+// validated the request. Called only when the cache is enabled.
+func (s *Server) computeDigests(wr *wireRequest, cs core.Case, d core.Dims) cacheKey {
+	wr.digA = digestMatrix(wr.req.ARows, wr.req.ACols, wr.req.A)
+	wr.req.A = s.blocks.intern(wr.digA, wr.req.A, wr.bufs[0])
+	wr.bufs[0] = nil // ownership moved to the block table
+	wr.interned = append(wr.interned, wr.digA)
+
+	wr.digB = digestMatrix(wr.req.BRows, wr.req.BCols, wr.req.B)
+	wr.req.B = s.blocks.intern(wr.digB, wr.req.B, wr.bufs[1])
+	wr.bufs[1] = nil
+	wr.interned = append(wr.interned, wr.digB)
+
+	key := cacheKey{
+		a:         wr.digA,
+		b:         wr.digB,
+		cs:        cs,
+		alphaBits: math.Float64bits(wr.req.alpha()),
+		betaBits:  math.Float64bits(wr.req.beta()),
+	}
+	// C only contributes when beta != 0 (otherwise it is never read, and
+	// keying on it would split identical computations).
+	if wr.req.beta() != 0 && len(wr.req.C) > 0 {
+		wr.digC = digestMatrix(d.M, d.N, wr.req.C)
+		key.cIn = wr.digC
+	}
+	wr.haveDigests = true
+	return key
+}
+
+func hexDigest(d digest) string { return hex.EncodeToString(d[:]) }

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"srumma/internal/mat"
+	"srumma/internal/obs"
+)
+
+// bitsEqual compares float slices by IEEE bit pattern — the cache's
+// bit-identity contract, stricter than numeric equality.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCacheHitBitIdentical pins the headline guarantee: a cache hit serves
+// exactly the bytes a fresh compute produced — same result digest, same
+// float bits — while skipping the engine, and the digests are
+// wire-independent (a JSON-filled entry hits from the binary wire).
+func TestCacheHitBitIdentical(t *testing.T) {
+	s := newTestServer(t, Config{NProcs: 4, CacheEntries: 16})
+	req := randReq(24, 32, 16, 900)
+	req.ID = "fresh"
+
+	var fresh MultiplyResponse
+	code, _ := post(t, s, req, &fresh)
+	if code != http.StatusOK {
+		t.Fatalf("fresh status %d", code)
+	}
+	if fresh.Cached || fresh.Route == routeCache {
+		t.Fatalf("first request served from cache: %+v", fresh)
+	}
+	if fresh.Digest == "" || fresh.DigestA == "" || fresh.DigestB == "" {
+		t.Fatalf("fresh response missing digest chain: %+v", fresh)
+	}
+
+	req.ID = "hit"
+	var hit MultiplyResponse
+	code, _ = post(t, s, req, &hit)
+	if code != http.StatusOK {
+		t.Fatalf("hit status %d", code)
+	}
+	if !hit.Cached || hit.Route != routeCache {
+		t.Fatalf("identical request not served from cache: route %q cached %v", hit.Route, hit.Cached)
+	}
+	if hit.Digest != fresh.Digest || hit.DigestA != fresh.DigestA || hit.DigestB != fresh.DigestB {
+		t.Fatalf("hit digest chain differs from fresh:\n%+v\n%+v", fresh, hit)
+	}
+	if !bitsEqual(fresh.C, hit.C) {
+		t.Fatal("cache hit is not bit-identical to the fresh compute")
+	}
+
+	// Same operands over the binary wire: digests are computed over the
+	// shape-prefixed LE byte image, not the wire encoding, so this hits too.
+	w := binPost(t, s, req, false, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Srumma-Cached"); got != "1" {
+		t.Fatalf("binary-wire repeat of a JSON-cached request missed the cache (X-Srumma-Cached %q)", got)
+	}
+	if got := w.Header().Get("X-Srumma-Digest"); got != fresh.Digest {
+		t.Fatalf("binary hit digest %q, want %q", got, fresh.Digest)
+	}
+	rows, cols, c := decodeBinRecorder(t, w)
+	if rows != fresh.Rows || cols != fresh.Cols || !bitsEqual(fresh.C, c) {
+		t.Fatal("binary-wire cache hit is not bit-identical to the fresh compute")
+	}
+
+	m := s.Metrics()
+	if m.Cache == nil || m.Cache.Hits != 2 || m.Cache.Misses != 1 {
+		t.Fatalf("cache stats: %+v", m.Cache)
+	}
+}
+
+// TestCacheHitSRUMMARoute repeats the bit-identity pin on the distributed
+// route: the cached Gather output must match a fresh engine run bit for
+// bit.
+func TestCacheHitSRUMMARoute(t *testing.T) {
+	s := newTestServer(t, Config{NProcs: 4, SmallMNK: 1, CacheEntries: 4})
+	req := randReq(48, 32, 40, 901)
+	var fresh, hit MultiplyResponse
+	if code, _ := post(t, s, req, &fresh); code != http.StatusOK {
+		t.Fatalf("fresh status %d", code)
+	}
+	if fresh.Route != routeSRUMMA {
+		t.Fatalf("route %q, want %q", fresh.Route, routeSRUMMA)
+	}
+	if code, _ := post(t, s, req, &hit); code != http.StatusOK {
+		t.Fatalf("hit status %d", code)
+	}
+	if hit.Route != routeCache || !bitsEqual(fresh.C, hit.C) {
+		t.Fatalf("SRUMMA-route cache hit not bit-identical (route %q)", hit.Route)
+	}
+	checkResult(t, hit, wantGemm(t, req), 1e-10)
+}
+
+// TestCacheKeyDiscriminates: the key covers operands, case, scalars and
+// input C, so near-identical requests do not collide.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	s := newTestServer(t, Config{NProcs: 4, CacheEntries: 16})
+	req := randReq(8, 8, 8, 902)
+	var r1, r2, r3 MultiplyResponse
+	post(t, s, req, &r1)
+
+	alpha := 2.0
+	req2 := req
+	req2.Alpha = &alpha
+	if code, _ := post(t, s, req2, &r2); code != http.StatusOK {
+		t.Fatal("alpha variant failed")
+	}
+	if r2.Cached {
+		t.Fatal("different alpha hit the same cache entry")
+	}
+
+	beta := 1.0
+	req3 := req
+	req3.Beta = &beta
+	req3.C = make([]float64, 64)
+	for i := range req3.C {
+		req3.C[i] = float64(i)
+	}
+	if code, _ := post(t, s, req3, &r3); code != http.StatusOK {
+		t.Fatal("beta variant failed")
+	}
+	if r3.Cached {
+		t.Fatal("beta/C variant hit the same cache entry")
+	}
+	if r3.DigestCIn == "" {
+		t.Fatal("beta != 0 response missing digest_c_in")
+	}
+
+	// The original request still hits.
+	var again MultiplyResponse
+	post(t, s, req, &again)
+	if !again.Cached {
+		t.Fatal("original request evicted or mis-keyed")
+	}
+}
+
+func newTestCache(entries int, bytes int64, ttl time.Duration) *resultCache {
+	return newResultCache(entries, bytes, ttl, obs.NewRegistry())
+}
+
+func matOf(vals ...float64) mat.Matrix {
+	return mat.Matrix{Rows: 1, Cols: len(vals), Stride: len(vals), Data: vals}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newTestCache(2, 0, 0)
+	k := func(i byte) cacheKey { return cacheKey{a: digest{i}} }
+	c.put(k(1), matOf(1), digest{1})
+	c.put(k(2), matOf(2), digest{2})
+	if _, _, ok := c.get(k(1)); !ok { // refresh 1: now 2 is LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.put(k(3), matOf(3), digest{3}) // evicts 2
+	if _, _, ok := c.get(k(2)); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if _, _, ok := c.get(k(1)); !ok {
+		t.Fatal("recently-used entry 1 evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+}
+
+func TestResultCacheByteBound(t *testing.T) {
+	c := newTestCache(0, 100, 0) // 100 bytes = 12 floats max resident
+	k := func(i byte) cacheKey { return cacheKey{a: digest{i}} }
+	c.put(k(1), matOf(make([]float64, 8)...), digest{1}) // 64 bytes
+	c.put(k(2), matOf(make([]float64, 8)...), digest{2}) // 128 total: evicts 1
+	if _, _, ok := c.get(k(1)); ok {
+		t.Fatal("byte bound did not evict")
+	}
+	if _, _, ok := c.get(k(2)); !ok {
+		t.Fatal("newest entry evicted instead of oldest")
+	}
+	// An entry larger than the whole cache is refused outright.
+	c.put(k(3), matOf(make([]float64, 64)...), digest{3})
+	if _, _, ok := c.get(k(3)); ok {
+		t.Fatal("oversized entry retained")
+	}
+}
+
+func TestResultCacheTTL(t *testing.T) {
+	c := newTestCache(8, 0, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	k := cacheKey{a: digest{9}}
+	c.put(k, matOf(1, 2), digest{9})
+	if _, _, ok := c.get(k); !ok {
+		t.Fatal("entry missing before TTL")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := c.get(k); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if st := c.stats(); st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+func TestBlockTableInterning(t *testing.T) {
+	pool := &bufPool{}
+	tbl := newBlockTable(pool, obs.NewRegistry())
+	d := digest{42}
+
+	b1 := pool.get(4)
+	copy(b1.data, []float64{1, 2, 3, 4})
+	canon := tbl.intern(d, b1.data, b1)
+
+	b2 := pool.get(4)
+	copy(b2.data, []float64{1, 2, 3, 4})
+	got := tbl.intern(d, b2.data, b2) // duplicate: adopts canon, pools b2
+	if &got[0] != &canon[0] {
+		t.Fatal("duplicate intern did not adopt the canonical buffer")
+	}
+	if tbl.dedupCount() != 1 {
+		t.Fatalf("dedup count %d, want 1", tbl.dedupCount())
+	}
+	if tbl.live() != 1 {
+		t.Fatalf("live blocks %d, want 1", tbl.live())
+	}
+	tbl.release(d)
+	if tbl.live() != 1 {
+		t.Fatal("block released while a holder remains")
+	}
+	tbl.release(d)
+	if tbl.live() != 0 {
+		t.Fatal("block not released at refcount zero")
+	}
+}
+
+func TestBlockTableAbandonWithholdsBuffer(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pool recycling assertions are meaningless under the race detector")
+	}
+	pool := &bufPool{}
+	tbl := newBlockTable(pool, obs.NewRegistry())
+	d := digest{7}
+	b := pool.get(4)
+	addr := uintptrOf(b.data)
+	tbl.intern(d, b.data, b)
+	tbl.abandon(d)
+	if tbl.live() != 0 {
+		t.Fatal("abandon did not drop the reference")
+	}
+	// The abandoned buffer must NOT come back from the pool.
+	if got := pool.get(4); uintptrOf(got.data) == addr {
+		t.Fatal("abandoned buffer was recycled into the pool")
+	}
+}
+
+// TestInternSharesRepeatedOperandInOneRequest: a request whose A and B are
+// the same matrix interns one canonical buffer (dedup 1), visible in the
+// metrics snapshot.
+func TestInternSharesRepeatedOperandInOneRequest(t *testing.T) {
+	s := newTestServer(t, Config{NProcs: 4, CacheEntries: 4})
+	sq := mat.Random(16, 16, 77)
+	req := MultiplyRequest{
+		ARows: 16, ACols: 16, A: sq.Data,
+		BRows: 16, BCols: 16, B: sq.Data,
+	}
+	var resp MultiplyResponse
+	if code, _ := post(t, s, req, &resp); code != http.StatusOK {
+		t.Fatal("request failed")
+	}
+	if resp.DigestA != resp.DigestB {
+		t.Fatal("identical operands digested differently")
+	}
+	m := s.Metrics()
+	if m.Cache == nil || m.Cache.BlockDedup < 1 {
+		t.Fatalf("block dedup not counted: %+v", m.Cache)
+	}
+	if s.blocks.live() != 0 {
+		t.Fatalf("interned blocks leaked: %d live after request", s.blocks.live())
+	}
+}
+
+// TestDigestCacheLookupAllocs pins the cache probe hot path: digesting two
+// operands and probing the LRU allocates O(1) small objects, independent
+// of matrix size.
+func TestDigestCacheLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	a := mat.Random(64, 64, 5)
+	b := mat.Random(64, 64, 6)
+	c := newTestCache(8, 0, 0)
+	key := cacheKey{a: digestMatrix(64, 64, a.Data), b: digestMatrix(64, 64, b.Data)}
+	c.put(key, matOf(1, 2, 3), digest{1})
+	avg := testing.AllocsPerRun(100, func() {
+		k := cacheKey{a: digestMatrix(64, 64, a.Data), b: digestMatrix(64, 64, b.Data)}
+		if _, _, ok := c.get(k); !ok {
+			t.Fatal("lookup missed")
+		}
+	})
+	// The sha256 digest state is pooled; the only tolerated allocations are
+	// the hash.Sum escape (one per digest).
+	if avg > 2 {
+		t.Fatalf("digest+lookup allocates %.1f objects/op, want <= 2", avg)
+	}
+}
+
+// TestMetricsWireAndCacheSnapshot: the /metrics JSON round-trips the new
+// wire and cache sections (srumma-load parses this shape).
+func TestMetricsWireAndCacheSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{NProcs: 4, CacheEntries: 4})
+	req := randReq(8, 8, 8, 903)
+	post(t, s, req, nil)
+	post(t, s, req, nil)
+	binPost(t, s, req, false, "")
+
+	raw, err := json.Marshal(s.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cache == nil || snap.Cache.Hits != 2 || snap.Cache.Misses != 1 {
+		t.Fatalf("cache section: %+v", snap.Cache)
+	}
+	if snap.Cache.HitRate < 0.6 || snap.Cache.HitRate > 0.7 {
+		t.Fatalf("hit rate %g, want 2/3", snap.Cache.HitRate)
+	}
+	jw, bw := snap.Wire[wireJSON], snap.Wire[wireBinary]
+	if jw.Requests != 2 || bw.Requests != 1 {
+		t.Fatalf("wire request counts: json %d binary %d", jw.Requests, bw.Requests)
+	}
+	if jw.BytesIn == 0 || jw.BytesOut == 0 || bw.BytesIn == 0 || bw.BytesOut == 0 {
+		t.Fatalf("wire byte counters empty: %+v %+v", jw, bw)
+	}
+	// The binary body is dense: 3 8x8 float64 payloads' worth of JSON text
+	// is strictly larger than the 48-byte header + 1024 bytes of floats.
+	if bw.BytesInP50 >= jw.BytesInP50 {
+		t.Fatalf("binary request body (%g) not smaller than JSON (%g)", bw.BytesInP50, jw.BytesInP50)
+	}
+}

@@ -60,6 +60,14 @@ type MetricsSnapshot struct {
 	// Classes breaks latency down by workload class (interactive/batch).
 	Classes map[string]RouteStats `json:"classes"`
 
+	// Wire breaks request traffic down by wire format ("json"/"binary"):
+	// request counts and bytes on the wire in each direction, with p50/p99
+	// body sizes from streaming histograms.
+	Wire map[string]WireStats `json:"wire,omitempty"`
+	// Cache is the content-addressed result cache view (omitted when the
+	// cache is disabled).
+	Cache *CacheStats `json:"cache,omitempty"`
+
 	// Sched is the workload scheduler's view (nil in FIFO mode): per-class
 	// queue depth, batch occupancy, deadline misses, pool elasticity.
 	Sched *sched.Snapshot `json:"sched,omitempty"`
@@ -81,6 +89,18 @@ type RecoveryStats struct {
 	ABFTDetected     uint64 `json:"abft_detected"`
 	ABFTRecomputed   uint64 `json:"abft_recomputed"`
 	BrownoutRequests uint64 `json:"brownout_requests"`
+}
+
+// WireStats is one wire format's traffic slice of a metrics snapshot.
+type WireStats struct {
+	Requests uint64 `json:"requests"`
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	// Per-request body sizes (bytes) from log-bucketed histograms.
+	BytesInP50  float64 `json:"bytes_in_p50"`
+	BytesInP99  float64 `json:"bytes_in_p99"`
+	BytesOutP50 float64 `json:"bytes_out_p50"`
+	BytesOutP99 float64 `json:"bytes_out_p99"`
 }
 
 // BreakerStats is one route's circuit-breaker view.
@@ -120,6 +140,11 @@ type metrics struct {
 	brownoutG      *obs.Gauge
 	brownoutReqs   *obs.Counter
 
+	// wires is the per-wire-format traffic instrument block, keyed by
+	// wireJSON/wireBinary. A request is attributed to the wire its BODY
+	// arrived on (responses usually mirror it; Accept can diverge).
+	wires map[string]*wireInstruments
+
 	// mu guards schedSnap, which is installed after construction in
 	// scheduler mode.
 	mu sync.Mutex
@@ -148,6 +173,11 @@ func newMetrics(queueCap int) *metrics {
 		routes: map[string]*obs.Histogram{
 			routeSmall:  reg.Histogram("server.latency.route." + routeSmall),
 			routeSRUMMA: reg.Histogram("server.latency.route." + routeSRUMMA),
+			routeCache:  reg.Histogram("server.latency.route." + routeCache),
+		},
+		wires: map[string]*wireInstruments{
+			wireJSON:   newWireInstruments(reg, wireJSON),
+			wireBinary: newWireInstruments(reg, wireBinary),
 		},
 		classes: map[string]*obs.Histogram{
 			sched.ClassInteractive.String(): reg.Histogram("server.latency.class." + sched.ClassInteractive.String()),
@@ -162,6 +192,61 @@ func newMetrics(queueCap int) *metrics {
 		brownoutG:      reg.Gauge("server.brownout"),
 		brownoutReqs:   reg.Counter("server.brownout_requests"),
 	}
+}
+
+// wireByteScale maps body sizes into the log-bucketed histogram's native
+// range: obs.Histogram buckets cover [50e-6, ~9.7e3] in its unit, so
+// observing bytes*1e-6 gives distinct buckets for bodies from 50 bytes to
+// ~10 GB. wireSnapshot multiplies quantiles back out.
+const wireByteScale = 1e-6
+
+// wireInstruments is one wire format's traffic counters.
+type wireInstruments struct {
+	reqs     *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	inHist   *obs.Histogram
+	outHist  *obs.Histogram
+}
+
+func newWireInstruments(reg *obs.Registry, wire string) *wireInstruments {
+	return &wireInstruments{
+		reqs:     reg.Counter("server.wire." + wire + ".requests"),
+		bytesIn:  reg.Counter("server.wire." + wire + ".bytes_in"),
+		bytesOut: reg.Counter("server.wire." + wire + ".bytes_out"),
+		inHist:   reg.Histogram("server.wire." + wire + ".body_in_bytes"),
+		outHist:  reg.Histogram("server.wire." + wire + ".body_out_bytes"),
+	}
+}
+
+// noteWire attributes one completed request's body sizes to its wire.
+func (m *metrics) noteWire(wire string, bytesIn, bytesOut int64) {
+	wi := m.wires[wire]
+	if wi == nil {
+		return
+	}
+	wi.reqs.Inc()
+	wi.bytesIn.Add(bytesIn)
+	wi.bytesOut.Add(bytesOut)
+	wi.inHist.Observe(float64(bytesIn) * wireByteScale)
+	wi.outHist.Observe(float64(bytesOut) * wireByteScale)
+}
+
+// wireSnapshot materializes the per-wire traffic view.
+func (m *metrics) wireSnapshot() map[string]WireStats {
+	out := make(map[string]WireStats, len(m.wires))
+	for wire, wi := range m.wires {
+		out[wire] = WireStats{
+			Requests:    uint64(wi.reqs.Load()),
+			BytesIn:     uint64(wi.bytesIn.Load()),
+			BytesOut:    uint64(wi.bytesOut.Load()),
+			BytesInP50:  wi.inHist.Quantile(0.50) / wireByteScale,
+			BytesInP99:  wi.inHist.Quantile(0.99) / wireByteScale,
+			BytesOutP50: wi.outHist.Quantile(0.50) / wireByteScale,
+			BytesOutP99: wi.outHist.Quantile(0.99) / wireByteScale,
+		}
+	}
+	return out
 }
 
 // noteRetry records one handler-level retry of a failed SRUMMA job:

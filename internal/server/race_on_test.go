@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled skips allocation-count assertions: the race detector makes
+// sync.Pool drop puts on purpose, so AllocsPerRun is meaningless there.
+const raceEnabled = true

@@ -21,15 +21,18 @@
 package server
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	goruntime "runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,10 +48,13 @@ import (
 	"srumma/internal/sched"
 )
 
-// Execution tiers.
+// Execution tiers. routeCache is the zero-compute tier: a content-addressed
+// result-cache hit that skips admission queueing, the scheduler, and the
+// engine entirely.
 const (
 	routeSmall  = "small"
 	routeSRUMMA = "srumma"
+	routeCache  = "cache"
 )
 
 // Config sizes the service. The zero value gets production-lean defaults
@@ -152,6 +158,23 @@ type Config struct {
 	// TraceSample requests records handler and engine spans (requires
 	// TraceEvents > 0). 0 or 1 keeps always-on tracing.
 	TraceSample int
+
+	// CacheEntries enables the content-addressed result cache when > 0:
+	// operands are SHA-256 digested at decode, identical requests are
+	// served bit-identical results from a bounded LRU without touching
+	// the scheduler or engine, and repeated operands are interned so
+	// concurrent requests share one canonical buffer. 0 (the default)
+	// disables content addressing entirely.
+	CacheEntries int
+	// CacheBytes bounds the cache's resident result bytes (default 256
+	// MiB when the cache is enabled).
+	CacheBytes int64
+	// CacheTTL expires entries this long after insertion; 0 keeps entries
+	// until LRU eviction.
+	CacheTTL time.Duration
+	// JSONOnly disables the binary wire: binary-typed requests get 415
+	// and responses are always JSON (goldens, debugging).
+	JSONOnly bool
 	// FaultPlan, when set, layers the deterministic fault injector over
 	// every engine job, drawing op indices from process-wide counters
 	// (faults.Shared) so schedules advance across jobs and an injected
@@ -226,6 +249,9 @@ func (c Config) fill() Config {
 	if c.BrownoutAt < 0 {
 		c.BrownoutAt = 0
 	}
+	if c.CacheEntries > 0 && c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
 	return c
 }
 
@@ -247,6 +273,13 @@ type Server struct {
 	met      *metrics
 	draining atomic.Bool
 	jobs     sync.WaitGroup // in-flight multiply handlers
+
+	// pool recycles the 64-byte-aligned operand buffers the binary wire
+	// decodes into; blocks interns operands by content digest and cache is
+	// the bounded LRU result store (both nil unless CacheEntries > 0).
+	pool   *bufPool
+	cache  *resultCache
+	blocks *blockTable
 
 	// chaos is the process-wide fault injector state (nil unless
 	// Config.FaultPlan is set); breakers is the per-route circuit breaker
@@ -287,6 +320,11 @@ func New(cfg Config) (*Server, error) {
 		topo: topo,
 		g:    g,
 		met:  newMetrics(cfg.QueueCap),
+		pool: &bufPool{},
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, s.met.reg)
+		s.blocks = newBlockTable(s.pool, s.met.reg)
 	}
 	if cfg.FaultPlan != nil {
 		s.chaos = faults.NewShared(cfg.FaultPlan)
@@ -352,6 +390,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 		for route, b := range s.breakers {
 			snap.Breakers[route] = b.snapshot()
 		}
+	}
+	snap.Wire = s.met.wireSnapshot()
+	if s.cache != nil {
+		cs := s.cache.stats()
+		cs.BlockDedup = s.blocks.dedupCount()
+		snap.Cache = &cs
 	}
 	return snap
 }
@@ -485,6 +529,13 @@ type InfoResponse struct {
 	SchedMode string `json:"sched_mode"`
 	MaxTeams  int    `json:"max_teams"`
 	BatchMax  int    `json:"batch_max"`
+	// Wire and cache deployment parameters: whether the dense binary wire
+	// is negotiable, and the content-addressed result cache bounds (zero
+	// entries = content addressing off).
+	BinaryWire      bool    `json:"binary_wire"`
+	CacheEntries    int     `json:"cache_entries"`
+	CacheBytes      int64   `json:"cache_bytes,omitempty"`
+	CacheTTLSeconds float64 `json:"cache_ttl_s,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -505,6 +556,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		SchedMode:     s.cfg.SchedMode,
 		MaxTeams:      s.cfg.MaxTeams,
 		BatchMax:      s.cfg.BatchMax,
+
+		BinaryWire:      !s.cfg.JSONOnly,
+		CacheEntries:    s.cfg.CacheEntries,
+		CacheBytes:      s.cfg.CacheBytes,
+		CacheTTLSeconds: s.cfg.CacheTTL.Seconds(),
 	})
 }
 
@@ -537,26 +593,52 @@ func (s *Server) retryAfter() int {
 	return secs
 }
 
+// reqEnv bundles one decoded request's routing state through the handler
+// layers: the wire it arrived (and will answer) on, the validated shape,
+// class and deadline, and — when the cache is on — its content-addressed
+// identity.
+type reqEnv struct {
+	wr      *wireRequest
+	cs      core.Case
+	d       core.Dims
+	cls     sched.Class
+	timeout time.Duration
+	route   string
+	traced  bool
+
+	respWire string // wireJSON or wireBinary, from Accept (default: mirror the request)
+	gzipOut  bool   // gzip the (binary) response body
+
+	key     cacheKey
+	haveKey bool
+}
+
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	t0 := time.Now()
 	traced := s.sampleTrace()
 	if traced {
-		t0 := time.Now()
 		defer func() { s.rec.RecordWall(s.cfg.NProcs, obs.KindRequest, t0, time.Now()) }()
 	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
 		return
 	}
-	var req MultiplyRequest
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+	wr, werr := s.decodeRequest(w, r)
+	if werr != nil {
+		writeJSON(w, werr.status, ErrorResponse{Error: werr.msg})
 		return
 	}
+	// Pooled and interned operand storage is recycled when the handler
+	// leaves — after the response (which may encode straight out of it)
+	// is written. release honors wr.noPool for runs that may have leaked
+	// engine readers.
+	defer wr.release(s)
+	req := &wr.req
+
 	cs, err := parseCase(req.Case)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{ID: req.ID, Error: err.Error()})
@@ -580,11 +662,27 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
+	env := &reqEnv{wr: wr, cs: cs, d: d, cls: cls, timeout: timeout, traced: traced}
+	env.respWire, env.gzipOut = s.negotiateRespWire(r, wr)
+
+	// Content addressing: digest the operands, intern them (repeated
+	// operands collapse onto one canonical buffer), and probe the result
+	// cache. A hit is served straight from memory — bit-identical to a
+	// fresh compute — without touching admission, scheduler, or engine.
+	if s.cache != nil {
+		env.key = s.computeDigests(wr, cs, d)
+		env.haveKey = true
+		if out, dig, ok := s.cache.get(env.key); ok {
+			s.serveCacheHit(w, env, t0, out, dig)
+			return
+		}
+	}
 
 	route := routeSRUMMA
 	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
 		route = routeSmall
 	}
+	env.route = route
 	// Circuit breaker: an open route fails fast with a cooldown hint
 	// instead of burning a team (and a retry budget) on a known-bad tier.
 	if br := s.breakers[route]; br != nil {
@@ -600,7 +698,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.sched != nil {
-		s.handleSchedMultiply(w, r, &req, cs, d, cls, timeout, route, traced)
+		s.handleSchedMultiply(w, r, env)
 		return
 	}
 
@@ -626,13 +724,148 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp, status, eresp := s.execute(ctx, &req, cs, d, cls, admitted, route, traced)
+	resp, out, status, eresp := s.execute(ctx, env, admitted)
 	s.recordBreaker(route, status)
 	if eresp != nil {
-		writeJSON(w, status, *eresp)
+		s.writeErr(w, env, status, *eresp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.storeResult(env, out, resp)
+	s.writeOK(w, env, resp)
+}
+
+// negotiateRespWire picks the response encoding: Accept wins when it names
+// a supported type, otherwise the response mirrors the request's wire.
+// gzipOut additionally compresses a binary response when the client both
+// sent gzip and accepts it — compression stays a client choice, never a
+// surprise CPU cost.
+func (s *Server) negotiateRespWire(r *http.Request, wr *wireRequest) (string, bool) {
+	wire := wr.wire
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, ContentTypeBinaryResult) {
+		wire = wireBinary
+	} else if strings.Contains(accept, ContentTypeJSON) {
+		wire = wireJSON
+	}
+	if s.cfg.JSONOnly {
+		wire = wireJSON
+	}
+	gzipOut := wire == wireBinary && wr.gzipped &&
+		strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+	return wire, gzipOut
+}
+
+// countingWriter counts response bytes for the per-wire traffic metrics.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// writeOK writes a success response on the negotiated wire and settles the
+// request's traffic metrics. On the binary wire the scalar response fields
+// travel as X-Srumma-* headers and the body is the bare result matrix.
+func (s *Server) writeOK(w http.ResponseWriter, env *reqEnv, resp *MultiplyResponse) {
+	cw := &countingWriter{w: w}
+	if env.respWire == wireBinary {
+		h := w.Header()
+		h.Set("Content-Type", ContentTypeBinaryResult)
+		setIf := func(k, v string) {
+			if v != "" {
+				h.Set(k, v)
+			}
+		}
+		setIf("X-Srumma-Id", resp.ID)
+		h.Set("X-Srumma-Route", resp.Route)
+		h.Set("X-Srumma-Queue-Ms", strconv.FormatFloat(resp.QueueMillis, 'g', -1, 64))
+		h.Set("X-Srumma-Elapsed-Ms", strconv.FormatFloat(resp.ElapsedMillis, 'g', -1, 64))
+		h.Set("X-Srumma-Gflops", strconv.FormatFloat(resp.GFlops, 'g', -1, 64))
+		setIf("X-Srumma-Class", resp.Class)
+		if resp.Batch > 0 {
+			h.Set("X-Srumma-Batch", strconv.Itoa(resp.Batch))
+		}
+		if resp.Cached {
+			h.Set("X-Srumma-Cached", "1")
+		}
+		setIf("X-Srumma-Digest-A", resp.DigestA)
+		setIf("X-Srumma-Digest-B", resp.DigestB)
+		setIf("X-Srumma-Digest-C-In", resp.DigestCIn)
+		setIf("X-Srumma-Digest", resp.Digest)
+		if env.gzipOut {
+			h.Set("Content-Encoding", "gzip")
+		}
+		w.WriteHeader(http.StatusOK)
+		if env.gzipOut {
+			gz := gzip.NewWriter(cw)
+			encodeBinaryResponse(gz, resp.Rows, resp.Cols, resp.C)
+			gz.Close()
+		} else {
+			encodeBinaryResponse(cw, resp.Rows, resp.Cols, resp.C)
+		}
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(cw).Encode(resp)
+	}
+	s.met.noteWire(env.wr.wire, env.wr.bytesIn, cw.n)
+}
+
+// writeErr writes an error response (always JSON, regardless of the
+// request wire) and settles the request's traffic metrics.
+func (s *Server) writeErr(w http.ResponseWriter, env *reqEnv, status int, eresp ErrorResponse) {
+	cw := &countingWriter{w: w}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(cw).Encode(eresp)
+	s.met.noteWire(env.wr.wire, env.wr.bytesIn, cw.n)
+}
+
+// serveCacheHit answers a request from the result cache: zero compute,
+// zero queueing, the full digest chain attached. Admission metrics still
+// see the request (route "cache") so hit traffic is visible in the same
+// latency/throughput views as computed traffic.
+func (s *Server) serveCacheHit(w http.ResponseWriter, env *reqEnv, t0 time.Time, out mat.Matrix, dig digest) {
+	s.met.admit()
+	resp := &MultiplyResponse{
+		ID:      env.wr.req.ID,
+		Rows:    env.d.M,
+		Cols:    env.d.N,
+		C:       out.Data,
+		Route:   routeCache,
+		Class:   env.cls.String(),
+		Cached:  true,
+		DigestA: hexDigest(env.wr.digA),
+		DigestB: hexDigest(env.wr.digB),
+		Digest:  hexDigest(dig),
+	}
+	if env.key.cIn != (digest{}) {
+		resp.DigestCIn = hexDigest(env.wr.digC)
+	}
+	s.met.finish(routeCache, env.cls.String(), "ok", time.Since(t0), 0, false)
+	s.writeOK(w, env, resp)
+}
+
+// storeResult content-addresses a fresh result, stamps the response's
+// digest chain, and retains the result in the cache. out is always a
+// freshly allocated matrix (mat.New or engine Gather output) — never
+// pooled request storage — so the cache can own its backing array.
+func (s *Server) storeResult(env *reqEnv, out *mat.Matrix, resp *MultiplyResponse) {
+	if !env.haveKey || out == nil {
+		return
+	}
+	dig := digestMatrix(resp.Rows, resp.Cols, out.Data)
+	resp.DigestA = hexDigest(env.wr.digA)
+	resp.DigestB = hexDigest(env.wr.digB)
+	if env.key.cIn != (digest{}) {
+		resp.DigestCIn = hexDigest(env.wr.digC)
+	}
+	resp.Digest = hexDigest(dig)
+	s.cache.put(env.key, *out, dig)
 }
 
 // sampleTrace decides whether this request records spans: always when
@@ -668,7 +901,9 @@ func (s *Server) recordBreaker(route string, status int) {
 // job that fails recoverably (rank panic, exhausted ABFT recompute) is
 // resubmitted with exponential backoff up to RetryBudget times, resuming
 // from its recovery ledger.
-func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, timeout time.Duration, route string, traced bool) {
+func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, env *reqEnv) {
+	req, cs, d := &env.wr.req, env.cs, env.d
+	cls, timeout, route, traced := env.cls, env.timeout, env.route, env.traced
 	admitted := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -706,6 +941,8 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 	defer s.jobs.Done()
 
 	var err error
+	var lastTask *sched.Task
+	sawWatchdog := false
 	inFlight := false
 	for attempt := 0; ; attempt++ {
 		task := &sched.Task{
@@ -724,15 +961,19 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 				break
 			}
 			if errors.Is(serr, sched.ErrClosed) {
-				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+				s.writeErr(w, env, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
 				return
 			}
 			ra := s.retryAfter()
 			s.met.reject()
 			w.Header().Set("Retry-After", strconv.Itoa(ra))
-			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
+			s.writeErr(w, env, http.StatusTooManyRequests, ErrorResponse{ID: req.ID, Error: "queue full", RetryAfterSeconds: ra})
 			return
 		}
+		// From here the scheduler (and soon an engine) can read the operand
+		// buffers; they may be recycled only after a provably-joined run.
+		env.wr.noPool = true
+		lastTask = task
 		if !inFlight {
 			s.met.admit()
 			inFlight = true
@@ -742,13 +983,18 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 		case <-task.Done():
 		case <-ctx.Done():
 			// Deadline while queued or executing: the scheduler drops a queued
-			// task when it surfaces; an executing one finishes into the void.
+			// task when it surfaces; an executing one finishes into the void —
+			// possibly still reading the operands, so wr.noPool stays set.
 			s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
-			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
+			s.writeErr(w, env, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
 			return
 		}
 
 		err = task.Err()
+		var werr *armci.WatchdogError
+		if errors.As(err, &werr) {
+			sawWatchdog = true
+		}
 		if err == nil || job.rec == nil || attempt >= s.cfg.RetryBudget || !retryableRunError(err) {
 			break
 		}
@@ -759,9 +1005,14 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 		}
 		if !sleepCtx(ctx, retryBackoff(s.cfg.RetryBackoff, attempt)) {
 			s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
-			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
+			s.writeErr(w, env, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "deadline exceeded: " + ctx.Err().Error()})
 			return
 		}
+	}
+	// Every dispatch joined its ranks (no watchdog leak at the handler or
+	// scheduler level): pooled operand buffers are safe to recycle.
+	if !sawWatchdog && lastTask != nil && lastTask.Attempts() <= 1 {
+		env.wr.noPool = false
 	}
 
 	switch {
@@ -784,26 +1035,28 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, req
 		if secs := elapsed.Seconds(); secs > 0 {
 			resp.GFlops = flops / secs / 1e9
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.storeResult(env, job.out, &resp)
+		s.writeOK(w, env, &resp)
 	case errors.Is(err, sched.ErrCancelled), errors.Is(err, core.ErrCancelled),
 		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()})
+		s.writeErr(w, env, http.StatusGatewayTimeout, ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()})
 	case errors.Is(err, sched.ErrClosed):
 		s.met.finish(route, cls.String(), "cancelled", 0, 0, false)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
+		s.writeErr(w, env, http.StatusServiceUnavailable, ErrorResponse{ID: req.ID, Error: "server draining"})
 	default:
 		s.recordBreaker(route, http.StatusInternalServerError)
 		s.met.finish(route, cls.String(), "error", 0, 0, false)
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{ID: req.ID, Error: err.Error()})
+		s.writeErr(w, env, http.StatusInternalServerError, ErrorResponse{ID: req.ID, Error: err.Error()})
 	}
 }
 
 // execute routes and runs one admitted request, settling metrics exactly
-// once. It returns either a success response or an error response with its
-// HTTP status.
-func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case, d core.Dims, cls sched.Class, admitted time.Time, route string, traced bool) (*MultiplyResponse, int, *ErrorResponse) {
-	class := cls.String()
+// once. It returns either a success response (with the freshly allocated
+// result matrix, for the cache) or an error response with its HTTP status.
+func (s *Server) execute(ctx context.Context, env *reqEnv, admitted time.Time) (*MultiplyResponse, *mat.Matrix, int, *ErrorResponse) {
+	req, cs, d, route, traced := &env.wr.req, env.cs, env.d, env.route, env.traced
+	class := env.cls.String()
 	flops := 2 * float64(d.M) * float64(d.N) * float64(d.K)
 
 	var (
@@ -825,11 +1078,14 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 		case tm = <-s.teams:
 		case <-ctx.Done():
 			s.met.finish(route, class, "cancelled", 0, 0, false)
-			return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "deadline exceeded while queued"}
+			return nil, nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "deadline exceeded while queued"}
 		}
 		s.met.execStart()
 		queueed = time.Since(admitted)
 		t0 := time.Now()
+		// The engine reads the operand buffers from here; recycle only
+		// after a run whose ranks provably joined (no watchdog leak).
+		env.wr.noPool = true
 		rj := s.newRecoverJob(s.cfg.ABFT)
 		for attempt := 0; ; attempt++ {
 			out, err = s.runSRUMMA(ctx, tm, req, cs, d, rj, traced)
@@ -852,6 +1108,10 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 			}
 		}
 		execTime = time.Since(t0)
+		var werr *armci.WatchdogError
+		if !errors.As(err, &werr) {
+			env.wr.noPool = false
+		}
 		s.recycleTeam(tm, err)
 	}
 
@@ -873,13 +1133,13 @@ func (s *Server) execute(ctx context.Context, req *MultiplyRequest, cs core.Case
 		if secs := execTime.Seconds(); secs > 0 {
 			resp.GFlops = flops / secs / 1e9
 		}
-		return resp, http.StatusOK, nil
+		return resp, out, http.StatusOK, nil
 	case errors.Is(err, core.ErrCancelled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.met.finish(route, class, "cancelled", 0, 0, true)
-		return nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()}
+		return nil, nil, http.StatusGatewayTimeout, &ErrorResponse{ID: req.ID, Error: "cancelled: " + err.Error()}
 	default:
 		s.met.finish(route, class, "error", 0, 0, true)
-		return nil, http.StatusInternalServerError, &ErrorResponse{ID: req.ID, Error: err.Error()}
+		return nil, nil, http.StatusInternalServerError, &ErrorResponse{ID: req.ID, Error: err.Error()}
 	}
 }
 

@@ -73,6 +73,21 @@ type MultiplyResponse struct {
 	// solo run, >1 when the scheduler coalesced it with other small GEMMs
 	// into one team job.
 	Batch int `json:"batch,omitempty"`
+
+	// Digest chain (present when the server runs with the result cache
+	// enabled): SHA-256 content addresses of the operands as decoded and
+	// of the result as served, hex-encoded. DigestCIn is set only when
+	// beta != 0 (C unread otherwise). A client can verify end to end that
+	// the served bytes are the multiply of exactly the operands it sent,
+	// and that a cached result digests identically to a fresh compute.
+	DigestA   string `json:"digest_a,omitempty"`
+	DigestB   string `json:"digest_b,omitempty"`
+	DigestCIn string `json:"digest_c_in,omitempty"`
+	Digest    string `json:"digest,omitempty"`
+	// Cached reports that the result came from the content-addressed
+	// result cache — bit-identical to a fresh compute — and the request
+	// skipped the scheduler and engine entirely.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
