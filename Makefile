@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke verify repro chaos chaos-serve bench-recover fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke ipc-smoke verify repro chaos chaos-serve bench-recover fuzz clean
 
 all: build test
 
@@ -93,6 +93,21 @@ trace-smoke:
 	grep -q '"overlap_floor"' $$tmp/real_run.json; \
 	echo "trace-smoke: PASS (both engines traced, Chrome exports valid, overlap floor held)"
 
+# Multi-process engine gate: 2 emulated hosts x 2 ranks each on
+# localhost, every rank an OS process (mmap segments inside a node,
+# unix-socket RMA between nodes). All four transpose cases must be
+# bit-identical to the in-process armci engine running the same job on
+# the same topology; the coordinator and every worker run under -race.
+# A traced ipc run then has to report a measured overlap ratio.
+ipc-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) run -race ./cmd/srumma-bench -engine ipc -np 4 -ppn 2 -quick; \
+	$(GO) run ./cmd/srumma-trace -engine ipc -n 192 -procs 4 -ppn 2 -width 60 \
+	    -out $$tmp/ipc_run.json > /dev/null; \
+	grep -q '"overlap_ratio"' $$tmp/ipc_run.json; \
+	grep -q '"ppn": 2' $$tmp/ipc_run.json; \
+	echo "ipc-smoke: PASS (4 processes bit-identical to armci under -race, traced overlap recorded)"
+
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:
 	$(GO) run ./cmd/srumma-verify
@@ -135,6 +150,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCyclicMapping -fuzztime=15s ./internal/grid
 	$(GO) test -fuzz=FuzzPlan -fuzztime=15s ./internal/faults
 	$(GO) test -fuzz=FuzzBinWire -fuzztime=15s ./internal/server
+	$(GO) test -fuzz=FuzzIPCWire -fuzztime=15s ./internal/ipcrt
 
 clean:
 	$(GO) clean ./...

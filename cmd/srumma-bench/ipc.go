@@ -1,0 +1,143 @@
+package main
+
+// The multi-process engine benchmark/verification mode:
+//
+//	srumma-bench -engine ipc -np 4 -ppn 2
+//
+// launches np worker PROCESSES (ppn per emulated node, all on localhost),
+// runs all four transpose cases through the socket+mmap transport, and
+// checks every rank's C block bit-for-bit against the in-process armci
+// engine running the identical job with the identical topology. This is
+// the ipc-smoke CI gate: run it under -race and any in-process ordering
+// bug in the coordinator or the workers' transport goroutines surfaces.
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"srumma/internal/armci"
+	"srumma/internal/core"
+	"srumma/internal/ipcrt"
+	"srumma/internal/rt"
+)
+
+type ipcRow struct {
+	Case        string  `json:"case"`
+	N           int     `json:"n"`
+	WallSeconds float64 `json:"wall_s"`
+	GFlops      float64 `json:"gflops"`
+	RemoteGets  int64   `json:"remote_gets"`
+	DirectMaps  int64   `json:"direct_maps"`
+	BitIdentical bool   `json:"bit_identical"`
+}
+
+// runIPCBench runs the four-case bit-identity comparison. It returns the
+// rows for -json; any mismatch or transport failure is fatal.
+func runIPCBench(np, ppn, n int) ([]ipcRow, error) {
+	if !ipcrt.Available() {
+		return nil, fmt.Errorf("the ipc engine is unavailable on this platform")
+	}
+	topo := rt.Topology{NProcs: np, ProcsPerNode: ppn}
+	cl, err := ipcrt.Launch(ipcrt.Config{NP: np, PPN: ppn})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	var rows []ipcRow
+	for _, cs := range []core.Case{core.NN, core.TN, core.NT, core.TT} {
+		spec := ipcrt.DefaultSpec(n, n, n)
+		spec.Case = int(cs)
+		spec.Beta = 0.5
+		spec.ReturnC = true
+		spec.KernelThreads = 1
+
+		w0 := time.Now()
+		results, err := cl.RunJob(spec, 10*time.Minute)
+		wall := time.Since(w0).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", cs, err)
+		}
+
+		// The reference: the in-process engine, same topology, same body.
+		want := make([][]float64, np)
+		var mu sync.Mutex
+		var bodyErr error
+		if _, err := armci.Run(topo, func(c rt.Ctx) {
+			out, _, _, err := ipcrt.RunBody(c, spec)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && bodyErr == nil {
+				bodyErr = err
+			}
+			want[c.Rank()] = out
+		}); err != nil {
+			return nil, fmt.Errorf("%v: armci reference: %w", cs, err)
+		}
+		if bodyErr != nil {
+			return nil, fmt.Errorf("%v: armci reference body: %w", cs, bodyErr)
+		}
+
+		row := ipcRow{Case: cs.String(), N: n, WallSeconds: wall, BitIdentical: true}
+		if wall > 0 {
+			row.GFlops = 2 * float64(n) * float64(n) * float64(n) / wall / 1e9
+		}
+		for rank, res := range results {
+			if res.Err != "" {
+				return nil, fmt.Errorf("%v: rank %d: %s", cs, rank, res.Err)
+			}
+			row.RemoteGets += res.Stats.GetsRemote
+			row.DirectMaps += res.DirectMaps
+			if len(res.C) != len(want[rank]) {
+				return nil, fmt.Errorf("%v: rank %d block is %d elements, armci has %d",
+					cs, rank, len(res.C), len(want[rank]))
+			}
+			for i := range res.C {
+				if math.Float64bits(res.C[i]) != math.Float64bits(want[rank][i]) {
+					return nil, fmt.Errorf("%v: rank %d element %d differs: ipc %v, armci %v",
+						cs, rank, i, res.C[i], want[rank][i])
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func formatIPCBench(np, ppn int, rows []ipcRow) string {
+	s := fmt.Sprintf("ipc engine: %d worker processes, %d per node, vs in-process armci\n", np, ppn)
+	s += fmt.Sprintf("%8s %6s %10s %9s %12s %12s %6s\n",
+		"case", "n", "wall ms", "GFLOP/s", "remote gets", "direct maps", "bits")
+	for _, r := range rows {
+		ok := "OK"
+		if !r.BitIdentical {
+			ok = "DIFF"
+		}
+		s += fmt.Sprintf("%8s %6d %10.3f %9.1f %12d %12d %6s\n",
+			r.Case, r.N, r.WallSeconds*1e3, r.GFlops, r.RemoteGets, r.DirectMaps, ok)
+	}
+	s += "every rank's C block is bit-identical to the in-process engine\n"
+	return s
+}
+
+// ipcBenchMain is the -engine ipc entry: run, print or store, exit style
+// matches the rest of srumma-bench.
+func ipcBenchMain(np, ppn, n int, quick bool, emit func(name string, rows any, table string)) {
+	if np <= 0 || ppn <= 0 {
+		log.Fatal("-engine ipc needs -np and -ppn (e.g. -np 4 -ppn 2)")
+	}
+	if n <= 0 {
+		n = 96
+		if quick {
+			n = 64
+		}
+	}
+	rows, err := runIPCBench(np, ppn, n)
+	if err != nil {
+		log.Fatalf("ipc: %v", err)
+	}
+	emit("ipc", rows, formatIPCBench(np, ppn, rows))
+}

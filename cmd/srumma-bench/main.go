@@ -28,10 +28,12 @@ import (
 	"os"
 
 	"srumma/internal/bench"
+	"srumma/internal/ipcrt"
 	"srumma/internal/machine"
 )
 
 func main() {
+	ipcrt.MaybeWorker() // -engine ipc workers re-execute this binary
 	log.SetFlags(0)
 	log.SetPrefix("srumma-bench: ")
 	fig := flag.Int("fig", 0, "figure number to regenerate (5..10)")
@@ -49,6 +51,10 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced sweeps (smaller N and P)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of tables")
+	engine := flag.String("engine", "", `"ipc": run the multi-process engine bit-identity benchmark`)
+	np := flag.Int("np", 4, "worker process count (with -engine ipc)")
+	ppn := flag.Int("ppn", 2, "worker processes per emulated node (with -engine ipc)")
+	ipcN := flag.Int("n", 0, "matrix size for -engine ipc (0: default)")
 	flag.Parse()
 
 	results := map[string]any{}
@@ -66,6 +72,15 @@ func main() {
 			return
 		}
 		fmt.Print(table)
+	}
+
+	switch *engine {
+	case "":
+	case "ipc":
+		ran = true
+		ipcBenchMain(*np, *ppn, *ipcN, *quick, emit)
+	default:
+		log.Fatalf("unknown engine %q (only ipc runs through srumma-bench)", *engine)
 	}
 
 	if *all || *fig == 5 {

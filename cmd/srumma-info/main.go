@@ -19,6 +19,7 @@ import (
 
 	"srumma/internal/armci"
 	"srumma/internal/bench"
+	"srumma/internal/ipcrt"
 	"srumma/internal/machine"
 	"srumma/internal/mat"
 )
@@ -65,6 +66,11 @@ func showRuntime() {
 		fmt.Printf(" %d ranks: %d;", nprocs, armci.DefaultKernelThreads(nprocs))
 	}
 	fmt.Println()
+	ipcState := "unavailable (no mmap shared segments on this platform)"
+	if ipcrt.Available() {
+		ipcState = "available (mmap segments + unix-socket RMA; srumma-bench/-trace -engine ipc)"
+	}
+	fmt.Printf("  engines: armci (in-process), sim (virtual time), ipc %s\n", ipcState)
 	fmt.Println()
 }
 

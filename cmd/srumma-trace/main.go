@@ -49,6 +49,7 @@ import (
 	"srumma/internal/faults"
 	"srumma/internal/fox"
 	"srumma/internal/grid"
+	"srumma/internal/ipcrt"
 	"srumma/internal/machine"
 	"srumma/internal/obs"
 	"srumma/internal/pdgemm"
@@ -92,9 +93,10 @@ type traceDoc struct {
 }
 
 func main() {
+	ipcrt.MaybeWorker() // ipc engine workers re-execute this binary
 	log.SetFlags(0)
 	log.SetPrefix("srumma-trace: ")
-	engine := flag.String("engine", "sim", `engine: "sim" (virtual-time model) or "real" (wall-clock armci run)`)
+	engine := flag.String("engine", "sim", `engine: "sim" (virtual-time model), "real" (wall-clock armci run) or "ipc" (multi-process workers)`)
 	platform := flag.String("platform", "linux-myrinet", "modeled platform (sim engine)")
 	alg := flag.String("alg", "srumma", "algorithm: srumma, pdgemm, summa, cannon, fox")
 	n := flag.Int("n", 1000, "matrix size (N x N x N)")
@@ -109,6 +111,9 @@ func main() {
 	chaos := flag.Bool("chaos", false, "inject deterministic faults into the simulated fabric (drops, delays, one straggler)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed (with -chaos)")
 	minOverlap := flag.Float64("min-overlap", 0, "fail unless the measured overlap ratio reaches this floor (0: no gate)")
+	sweep := flag.Bool("sweep", false, "run the measured-vs-modeled overlap sweep (block sizes x ppn) instead of one trace")
+	sweepNs := flag.String("sweep-n", "192,320,448", "comma-separated matrix sizes for -sweep (block size = n / grid dim)")
+	sweepPPNs := flag.String("sweep-ppn", "1,2,4", "comma-separated ranks-per-node values for -sweep")
 	flag.Parse()
 
 	if *validate != "" {
@@ -128,6 +133,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *sweep {
+		runSweep(*engine, *platform, *procs, *sweepNs, *sweepPPNs, *out)
+		return
+	}
+
 	d := core.Dims{M: *n, N: *n, K: *n}
 	flops := 2 * float64(*n) * float64(*n) * float64(*n)
 
@@ -151,8 +162,17 @@ func main() {
 		}
 		events, wall = runReal(g, d, *alg, *procs, *ppn, *width, *blocking, *noshift, *chrome, flops)
 		doc.PPN = *ppn
+	case "ipc":
+		if *chaos {
+			log.Fatal("-chaos models the simulated fabric; use -engine sim")
+		}
+		if *alg != "srumma" {
+			log.Fatalf("-engine ipc runs the srumma algorithm only (got %q)", *alg)
+		}
+		events, wall = runIPC(g, d, *procs, *ppn, *width, *blocking, *noshift, *chrome, flops)
+		doc.PPN = *ppn
 	default:
-		log.Fatalf("unknown engine %q (want sim or real)", *engine)
+		log.Fatalf("unknown engine %q (want sim, real or ipc)", *engine)
 	}
 
 	// The overlap ratio — the paper's claim as one number — plus per-kind

@@ -1,0 +1,31 @@
+// srumma-worker is one rank of the multi-process ipc engine. It is not
+// meant to be run by hand: the coordinator (srumma-bench/srumma-trace with
+// -engine ipc, or ipcrt.Launch in a program) spawns it with the
+// SRUMMA_IPC_* environment describing the rank, topology and run
+// directory. Normally the coordinator re-executes its own binary instead;
+// this command exists as the explicit worker for foreign launchers
+// (Config.WorkerPath).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"srumma/internal/ipcrt"
+)
+
+func main() {
+	ipcrt.MaybeWorker() // never returns when launched as a worker
+
+	fmt.Fprintln(os.Stderr, `srumma-worker: not launched by an ipc coordinator.
+
+This binary is one rank of the multi-process SRUMMA engine and expects the
+SRUMMA_IPC_WORKER / SRUMMA_IPC_RANK / SRUMMA_IPC_NP / SRUMMA_IPC_PPN /
+SRUMMA_IPC_DIR environment set by the launcher. Use:
+
+    srumma-bench -engine ipc -np 4 -ppn 2 ...
+    srumma-trace -engine ipc -np 4 -ppn 2 ...
+
+or ipcrt.Launch from Go.`)
+	os.Exit(2)
+}

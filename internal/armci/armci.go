@@ -51,6 +51,12 @@ func (e *WatchdogError) Error() string {
 	return fmt.Sprintf("armci: watchdog fired after %v: run was wedged in runtime collectives", e.Timeout)
 }
 
+// Unwrap marks the watchdog as the engine-independent "rank deadlocked"
+// failure class: the ranks are still there, wedged past the deadline —
+// as opposed to rt.ErrRankExited, where a rank is gone (the multi-process
+// engine's worker-death path). Callers route on errors.Is.
+func (e *WatchdogError) Unwrap() error { return rt.ErrRankDeadlocked }
+
 // RunWithTimeout is Run with a deadlock watchdog: if the SPMD program has
 // not completed within `timeout` (0 = no watchdog), the collectives are
 // aborted and the returned *WatchdogError records the leaked rank set.

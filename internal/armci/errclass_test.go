@@ -1,0 +1,70 @@
+package armci
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"srumma/internal/rt"
+)
+
+// The two engine-independent failure classes: a watchdog firing means the
+// ranks are still there but wedged (rt.ErrRankDeadlocked); a rank panic
+// means the rank unwound and is gone (rt.ErrRankExited) — the same class
+// the multi-process engine reports for a dead worker process. Callers
+// route on errors.Is without knowing which engine ran the job.
+func TestFailureClassUnwrap(t *testing.T) {
+	wd := &WatchdogError{Timeout: time.Second, Leaked: []int{1, 3}}
+	if !errors.Is(wd, rt.ErrRankDeadlocked) {
+		t.Error("WatchdogError is not rt.ErrRankDeadlocked")
+	}
+	if errors.Is(wd, rt.ErrRankExited) {
+		t.Error("WatchdogError claims rt.ErrRankExited too")
+	}
+
+	cause := fmt.Errorf("segment gone")
+	rp := &RankPanicError{Rank: 2, Cause: cause}
+	if !errors.Is(rp, rt.ErrRankExited) {
+		t.Error("RankPanicError is not rt.ErrRankExited")
+	}
+	if errors.Is(rp, rt.ErrRankDeadlocked) {
+		t.Error("RankPanicError claims rt.ErrRankDeadlocked too")
+	}
+	// The multi-branch unwrap keeps the original cause reachable.
+	if !errors.Is(rp, cause) {
+		t.Error("RankPanicError lost its cause")
+	}
+
+	// Non-error panic payloads still classify as rank-exited.
+	rp2 := &RankPanicError{Rank: 0, Cause: "string payload"}
+	if !errors.Is(rp2, rt.ErrRankExited) {
+		t.Error("RankPanicError with non-error cause is not rt.ErrRankExited")
+	}
+
+	// Wrapping preserves the classification.
+	wrapped := fmt.Errorf("job failed: %w", rp)
+	if !errors.Is(wrapped, rt.ErrRankExited) {
+		t.Error("wrapped RankPanicError lost its class")
+	}
+}
+
+// TestWatchdogClassLive fires a real watchdog and checks the returned
+// error classifies as a deadlock, not an exit.
+func TestWatchdogClassLive(t *testing.T) {
+	_, err := RunWithTimeout(rt.Topology{NProcs: 2, ProcsPerNode: 2}, 50*time.Millisecond, func(c rt.Ctx) {
+		if c.Rank() == 0 {
+			select {} // wedge one rank; the other blocks in Barrier
+		}
+		c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("wedged run succeeded")
+	}
+	if !errors.Is(err, rt.ErrRankDeadlocked) {
+		t.Fatalf("watchdog error %v is not rt.ErrRankDeadlocked", err)
+	}
+	if errors.Is(err, rt.ErrRankExited) {
+		t.Fatalf("watchdog error %v claims rt.ErrRankExited", err)
+	}
+}

@@ -110,12 +110,16 @@ func (e *RankPanicError) Error() string {
 	return fmt.Sprintf("armci: rank %d panicked: %v", e.Rank, e.Cause)
 }
 
-// Unwrap exposes the panic payload when it was itself an error.
-func (e *RankPanicError) Unwrap() error {
+// Unwrap exposes the panic payload when it was itself an error, and marks
+// the failure as the engine-independent "rank exited" class (the rank
+// unwound and is gone — the same class as a dead worker process on the
+// multi-process engine), as opposed to rt.ErrRankDeadlocked (wedged but
+// still there, the WatchdogError class). errors.Is/As walk both branches.
+func (e *RankPanicError) Unwrap() []error {
 	if err, ok := e.Cause.(error); ok {
-		return err
+		return []error{err, rt.ErrRankExited}
 	}
-	return nil
+	return []error{rt.ErrRankExited}
 }
 
 // runRank executes one job on one rank with the engine's standard recovery:

@@ -1,0 +1,480 @@
+package ipcrt
+
+// The coordinator: launches one worker process per rank, runs the control
+// plane (hello, counting barrier, Malloc/Free segment registration),
+// dispatches JobSpecs and collects RankResults. It lives in the launching
+// process (a CLI, a test) — workers are re-executions of the same binary
+// diverted by MaybeWorker, or an explicit cmd/srumma-worker path.
+//
+// Failure model: worker death is detected by the process watcher, not by
+// a hung read — RunJob returns a *RankExitError naming the dead rank and
+// its exit code or signal. A job that misses its watchdog with every
+// process alive returns *DeadlockError with the unfinished ranks. Either
+// way the cluster is poisoned (collective counters can no longer be
+// trusted) and further jobs are refused; Close kills what remains.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"srumma/internal/obs"
+	"srumma/internal/rt"
+)
+
+// Config describes a cluster launch.
+type Config struct {
+	// NP is the total rank count; PPN is ranks per emulated node (the
+	// shared-memory domain size). 2 nodes x 2 ppn on one machine is
+	// NP=4, PPN=2: ranks 0,1 mmap each other, ranks 2,3 likewise, and
+	// everything across the 0,1|2,3 cut goes over the socket protocol.
+	NP, PPN int
+	// Dir is the run directory holding the coordinator socket, per-rank
+	// RMA sockets and segment files. Empty = a fresh temp dir, removed
+	// by Close. Unix socket paths are length-limited; keep it short.
+	Dir string
+	// WorkerPath is the worker executable. Empty = this executable,
+	// re-executed (its main must call ipcrt.MaybeWorker first).
+	WorkerPath string
+	// Stderr receives worker stderr/stdout (default os.Stderr).
+	Stderr io.Writer
+	// LaunchTimeout bounds worker spawn+hello (default 30s).
+	LaunchTimeout time.Duration
+}
+
+// death is one observed worker-process exit.
+type death struct {
+	rank int
+	code int
+	sig  string
+}
+
+type workerHandle struct {
+	rank   int
+	cmd    *exec.Cmd
+	conn   net.Conn
+	wmu    sync.Mutex
+	exited chan struct{}
+}
+
+func (w *workerHandle) write(f *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.conn, f)
+}
+
+// Cluster is a running set of worker processes.
+type Cluster struct {
+	topo   rt.Topology
+	dir    string
+	ownDir bool
+	ln     net.Listener
+
+	workers []*workerHandle
+
+	// Collective state. Every rank runs the same SPMD program, so at most
+	// one collective of each kind is in flight and counting suffices.
+	collMu       sync.Mutex
+	barrierCount int
+	mallocCount  int
+	mallocSizes  []int64
+	freeCount    int
+	segSeq       int64
+
+	fins   chan *RankResult
+	deaths chan death
+
+	mu       sync.Mutex
+	poisoned error
+	closed   bool
+}
+
+// failGrace is how long RunJob waits for the remaining FINs after one
+// rank reported a job failure (the others may be wedged in a collective
+// the failed rank abandoned).
+const failGrace = 2 * time.Second
+
+// Launch starts NP workers and returns once every rank has said hello.
+func Launch(cfg Config) (*Cluster, error) {
+	topo := rt.Topology{NProcs: cfg.NP, ProcsPerNode: cfg.PPN}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if !Available() {
+		return nil, fmt.Errorf("ipcrt: multi-process engine unavailable on this platform")
+	}
+	dir, ownDir := cfg.Dir, false
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "srumma-ipc")
+		if err != nil {
+			return nil, err
+		}
+		ownDir = true
+	}
+	workerPath := cfg.WorkerPath
+	if workerPath == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("ipcrt: resolving own executable for worker re-exec: %w", err)
+		}
+		workerPath = exe
+	}
+	stderr := cfg.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	launchTimeout := cfg.LaunchTimeout
+	if launchTimeout <= 0 {
+		launchTimeout = 30 * time.Second
+	}
+
+	ln, err := net.Listen("unix", coordSockPath(dir))
+	if err != nil {
+		if ownDir {
+			os.RemoveAll(dir)
+		}
+		return nil, fmt.Errorf("ipcrt: coordinator listener: %w", err)
+	}
+
+	cl := &Cluster{
+		topo:        topo,
+		dir:         dir,
+		ownDir:      ownDir,
+		ln:          ln,
+		workers:     make([]*workerHandle, cfg.NP),
+		mallocSizes: make([]int64, cfg.NP),
+		fins:        make(chan *RankResult, cfg.NP),
+		deaths:      make(chan death, cfg.NP*2),
+	}
+
+	for rank := 0; rank < cfg.NP; rank++ {
+		cmd := exec.Command(workerPath)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			envRank+"="+strconv.Itoa(rank),
+			envNP+"="+strconv.Itoa(cfg.NP),
+			envPPN+"="+strconv.Itoa(cfg.PPN),
+			envDir+"="+dir,
+		)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			cl.killAll()
+			cl.cleanup()
+			return nil, fmt.Errorf("ipcrt: starting worker %d: %w", rank, err)
+		}
+		w := &workerHandle{rank: rank, cmd: cmd, exited: make(chan struct{})}
+		cl.workers[rank] = w
+		go func() {
+			werr := cmd.Wait()
+			code, sig := exitInfo(werr)
+			cl.deaths <- death{rank: w.rank, code: code, sig: sig}
+			close(w.exited)
+		}()
+	}
+
+	// Collect hellos: each inbound connection identifies its rank with
+	// its first frame.
+	conns := make(chan net.Conn)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			conns <- conn
+		}
+	}()
+	deadline := time.After(launchTimeout)
+	for need := cfg.NP; need > 0; {
+		select {
+		case conn := <-conns:
+			conn.SetReadDeadline(time.Now().Add(launchTimeout))
+			f, err := readFrame(conn)
+			conn.SetReadDeadline(time.Time{})
+			if err != nil || f.Op != opHello {
+				conn.Close()
+				continue
+			}
+			rank := int(f.P[0])
+			if rank < 0 || rank >= cfg.NP || cl.workers[rank].conn != nil {
+				conn.Close()
+				continue
+			}
+			cl.workers[rank].conn = conn
+			need--
+		case d := <-cl.deaths:
+			err := &RankExitError{Rank: d.rank, ExitCode: d.code, Signal: d.sig}
+			cl.killAll()
+			cl.cleanup()
+			return nil, fmt.Errorf("ipcrt: worker died during launch: %w", err)
+		case err := <-acceptErr:
+			cl.killAll()
+			cl.cleanup()
+			return nil, fmt.Errorf("ipcrt: accepting workers: %w", err)
+		case <-deadline:
+			cl.killAll()
+			cl.cleanup()
+			return nil, fmt.Errorf("ipcrt: timed out waiting for workers to report in")
+		}
+	}
+	for _, w := range cl.workers {
+		go cl.handleWorker(w)
+	}
+	return cl, nil
+}
+
+// Topo returns the cluster topology.
+func (cl *Cluster) Topo() rt.Topology { return cl.topo }
+
+// Dir returns the run directory.
+func (cl *Cluster) Dir() string { return cl.dir }
+
+// handleWorker routes one worker's control frames.
+func (cl *Cluster) handleWorker(w *workerHandle) {
+	for {
+		f, err := readFrame(w.conn)
+		if err != nil {
+			return // process watcher reports the death
+		}
+		switch f.Op {
+		case opBarrier:
+			cl.collBarrier()
+		case opMalloc:
+			cl.collMalloc(w.rank, f.P[0])
+		case opFree:
+			cl.collFree()
+		case opFin:
+			res := &RankResult{Rank: w.rank}
+			if err := json.Unmarshal(f.Body, res); err != nil {
+				res.Err = fmt.Sprintf("unmarshaling FIN: %v", err)
+			}
+			cl.fins <- res
+		default:
+			// A confused worker; drop the frame. The job watchdog will
+			// surface the stall if the protocol is truly broken.
+		}
+	}
+}
+
+func (cl *Cluster) broadcast(f *frame) {
+	for _, w := range cl.workers {
+		if w.conn != nil {
+			w.write(f) // write errors surface via the process watcher
+		}
+	}
+}
+
+func (cl *Cluster) collBarrier() {
+	cl.collMu.Lock()
+	cl.barrierCount++
+	done := cl.barrierCount == cl.topo.NProcs
+	if done {
+		cl.barrierCount = 0
+	}
+	cl.collMu.Unlock()
+	if done {
+		cl.broadcast(&frame{Op: opBarrierAck})
+	}
+}
+
+func (cl *Cluster) collMalloc(rank int, elems int64) {
+	cl.collMu.Lock()
+	cl.mallocSizes[rank] = elems
+	cl.mallocCount++
+	done := cl.mallocCount == cl.topo.NProcs
+	var segID int64
+	var sizes []byte
+	if done {
+		cl.mallocCount = 0
+		segID = cl.segSeq
+		cl.segSeq++
+		sizes = putInt64s(cl.mallocSizes)
+	}
+	cl.collMu.Unlock()
+	if done {
+		cl.broadcast(&frame{Op: opMallocAck, P: [5]int64{segID}, Body: sizes})
+	}
+}
+
+func (cl *Cluster) collFree() {
+	cl.collMu.Lock()
+	cl.freeCount++
+	done := cl.freeCount == cl.topo.NProcs
+	if done {
+		cl.freeCount = 0
+	}
+	cl.collMu.Unlock()
+	if done {
+		cl.broadcast(&frame{Op: opFreeAck})
+	}
+}
+
+func (cl *Cluster) poison(err error) {
+	cl.mu.Lock()
+	if cl.poisoned == nil {
+		cl.poisoned = err
+	}
+	cl.mu.Unlock()
+}
+
+// RunJob dispatches one spec to every rank and collects all results.
+// timeout == 0 disables the watchdog. On worker death it returns
+// *RankExitError (errors.Is rt.ErrRankExited); on a missed deadline with
+// live processes, *DeadlockError (errors.Is rt.ErrRankDeadlocked). Both
+// poison the cluster, as does any per-rank job failure — the collective
+// counters can't be realigned once ranks diverge.
+func (cl *Cluster) RunJob(spec *JobSpec, timeout time.Duration) ([]*RankResult, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("ipcrt: RunJob on closed cluster")
+	}
+	if cl.poisoned != nil {
+		err := cl.poisoned
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("ipcrt: cluster poisoned by earlier failure: %w", err)
+	}
+	cl.mu.Unlock()
+
+	// Drain deaths that occurred between jobs.
+	select {
+	case d := <-cl.deaths:
+		err := &RankExitError{Rank: d.rank, ExitCode: d.code, Signal: d.sig}
+		cl.poison(err)
+		return nil, err
+	default:
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("ipcrt: marshaling job spec: %w", err)
+	}
+	cl.broadcast(&frame{Op: opJob, Body: body})
+
+	results := make([]*RankResult, cl.topo.NProcs)
+	var watchdog <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		watchdog = t.C
+	}
+	var grace <-chan time.Time
+	var jobErr error
+	got := 0
+	for got < cl.topo.NProcs {
+		select {
+		case res := <-cl.fins:
+			if results[res.Rank] == nil {
+				results[res.Rank] = res
+				got++
+			}
+			if res.Err != "" && jobErr == nil {
+				jobErr = &RankJobError{Rank: res.Rank, Msg: res.Err}
+				g := time.NewTimer(failGrace)
+				defer g.Stop()
+				grace = g.C
+			}
+		case d := <-cl.deaths:
+			err := &RankExitError{Rank: d.rank, ExitCode: d.code, Signal: d.sig}
+			cl.poison(err)
+			return results, err
+		case <-grace:
+			cl.poison(jobErr)
+			return results, jobErr
+		case <-watchdog:
+			if jobErr != nil {
+				cl.poison(jobErr)
+				return results, jobErr
+			}
+			var pending []int
+			for rank, r := range results {
+				if r == nil {
+					pending = append(pending, rank)
+				}
+			}
+			err := &DeadlockError{Timeout: timeout, Pending: pending}
+			cl.poison(err)
+			return results, err
+		}
+	}
+	if jobErr != nil {
+		cl.poison(jobErr)
+		return results, jobErr
+	}
+	return results, nil
+}
+
+// killAll forcibly terminates every worker process.
+func (cl *Cluster) killAll() {
+	for _, w := range cl.workers {
+		if w != nil && w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+	}
+}
+
+func (cl *Cluster) cleanup() {
+	if cl.ln != nil {
+		cl.ln.Close()
+	}
+	if cl.ownDir {
+		os.RemoveAll(cl.dir)
+	}
+}
+
+// Close shuts the cluster down: polite shutdown frames, a grace period,
+// then SIGKILL for stragglers. Idempotent.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+
+	cl.broadcast(&frame{Op: opShutdown})
+	deadline := time.After(2 * time.Second)
+	for _, w := range cl.workers {
+		if w == nil || w.conn == nil {
+			continue
+		}
+		select {
+		case <-w.exited:
+		case <-deadline:
+			w.cmd.Process.Kill()
+			<-w.exited
+		}
+	}
+	cl.cleanup()
+	return nil
+}
+
+// MergeEvents shifts per-worker trace events onto the given epoch (the
+// coordinator-side recorder's) using each result's worker epoch: all
+// processes share one machine clock, so a plain offset aligns the lanes.
+func MergeEvents(results []*RankResult, epoch time.Time) []obs.Event {
+	var out []obs.Event
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		shift := float64(r.EpochUnixNano-epoch.UnixNano()) / 1e9
+		for _, e := range r.Events {
+			e.Start += shift
+			e.End += shift
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package ipcrt
+
+import (
+	"fmt"
+	"time"
+
+	"srumma/internal/rt"
+)
+
+// RankExitError reports a worker process that died while a job (or a
+// collective) needed it: the coordinator saw the process exit before its
+// FIN arrived. It is the multi-process analogue of a rank goroutine
+// unwinding mid-job, and it unwraps to rt.ErrRankExited so callers can
+// distinguish "the rank is gone — relaunch and retry" from
+// rt.ErrRankDeadlocked ("the rank is wedged — retrying will wedge too").
+type RankExitError struct {
+	Rank     int
+	ExitCode int    // process exit code, -1 when killed by a signal
+	Signal   string // terminating signal name, "" when exited normally
+}
+
+func (e *RankExitError) Error() string {
+	if e.Signal != "" {
+		return fmt.Sprintf("ipcrt: rank %d process killed by %s", e.Rank, e.Signal)
+	}
+	return fmt.Sprintf("ipcrt: rank %d process exited with code %d", e.Rank, e.ExitCode)
+}
+
+// Unwrap classifies the failure engine-independently.
+func (e *RankExitError) Unwrap() error { return rt.ErrRankExited }
+
+// DeadlockError reports a job that missed its watchdog deadline with every
+// worker process still alive: the ranks are wedged (a collective mismatch,
+// a hung user body, an injected fault), not gone. Pending lists the ranks
+// whose FIN never arrived. Unwraps to rt.ErrRankDeadlocked, the same
+// failure class as armci's WatchdogError.
+type DeadlockError struct {
+	Timeout time.Duration
+	Pending []int
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("ipcrt: job watchdog fired after %v: ranks %v never finished (processes still alive)", e.Timeout, e.Pending)
+}
+
+// Unwrap classifies the failure engine-independently.
+func (e *DeadlockError) Unwrap() error { return rt.ErrRankDeadlocked }
+
+// RankJobError reports a job body that failed on a worker (panic or
+// returned error) while the process itself survived and reported in.
+type RankJobError struct {
+	Rank int
+	Msg  string
+}
+
+func (e *RankJobError) Error() string {
+	return fmt.Sprintf("ipcrt: rank %d job failed: %s", e.Rank, e.Msg)
+}

@@ -1,0 +1,204 @@
+package ipcrt
+
+import (
+	"fmt"
+
+	"srumma/internal/core"
+	"srumma/internal/driver"
+	"srumma/internal/faults"
+	"srumma/internal/grid"
+	"srumma/internal/mat"
+	"srumma/internal/mp"
+	"srumma/internal/obs"
+	"srumma/internal/rt"
+)
+
+// JobSpec is one SPMD job, serialized to every worker. Closures cannot
+// cross a process boundary, so the multi-process engine dispatches jobs by
+// value: the spec names the algorithm and its parameters, and RunBody —
+// the one shared job body — reconstructs identical operands on every rank
+// from the seed. Running the same spec through RunBody on the in-process
+// armci engine (same topology) must produce bit-identical C blocks, which
+// is exactly what the ipc-smoke gate asserts.
+type JobSpec struct {
+	// Problem shape: C (MxN) = alpha * op(A) op(B) + beta * C, contraction
+	// length K, transpose case core.Case.
+	M, N, K     int
+	Case        int
+	Alpha, Beta float64
+	// Seed generates A (Seed), B (Seed+1) and, when Beta != 0, the initial
+	// C (Seed+2) via mat.Random on every rank identically.
+	Seed uint64
+	// Executor knobs, forwarded to core.Options.
+	SingleBuffer    bool
+	NoDiagonalShift bool
+	KernelThreads   int
+	MaxTaskK        int
+	// ReturnC ships each rank's C block back in its RankResult.
+	ReturnC bool
+	// Trace attaches a per-worker obs.Recorder; events come back in the
+	// RankResult together with the worker's wall epoch so the coordinator
+	// can merge the lanes onto its own timeline.
+	Trace bool
+	// Chaos, when non-nil, wraps the worker's Ctx in the deterministic
+	// fault injector (faults.NewPlan(Chaos, NProcs)); Recover additionally
+	// wraps the resilient retry/checksum layer around it.
+	Chaos   *faults.Config
+	Recover bool
+
+	// MPCheck replaces the GEMM body with a two-sided collective exercise
+	// (Bcast + Allreduce over internal/mp); the "C block" is the reduced
+	// vector, identical on every rank and computable in closed form.
+	MPCheck bool
+
+	// Test hooks (used by the engine's own failure-path tests): the named
+	// rank exits the process / hangs forever at job start. -1 disables.
+	ExitRank int
+	ExitCode int
+	HangRank int
+}
+
+// DefaultSpec returns a spec with the hooks disabled and sane scalars.
+func DefaultSpec(m, n, k int) *JobSpec {
+	return &JobSpec{M: m, N: n, K: k, Alpha: 1, Seed: 1, ExitRank: -1, HangRank: -1}
+}
+
+// RankResult is one worker's FIN payload.
+type RankResult struct {
+	Rank int
+	// Err is the job body's failure ("" on success): a recovered panic or
+	// a core.Multiply error, with the rank's context.
+	Err   string
+	Stats *rt.Stats
+	// C block (row-major CRows x CCols), present when the spec asked for it.
+	C            []float64
+	CRows, CCols int
+	// Trace events on lane == rank, with the worker's recorder epoch in
+	// unix nanos so the coordinator can shift them onto its own epoch.
+	Events        []obs.Event
+	EpochUnixNano int64
+	// DirectMaps counts distinct PEER segments this rank mapped for direct
+	// load/store access — the observable proof that intra-node operands
+	// took the mmap path rather than the socket.
+	DirectMaps int64
+}
+
+// RunBody executes one spec against any data-carrying engine Ctx. It is
+// the body both sides of the bit-identity gate run: workers call it with
+// their ipc ctx, and comparison harnesses call it on armci with the same
+// topology. Results: this rank's C block and its shape.
+func RunBody(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
+	if spec.MPCheck {
+		return runMPCheck(c, spec)
+	}
+	d := core.Dims{M: spec.M, N: spec.N, K: spec.K}
+	if err := d.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	g, err := grid.Square(c.Size())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cs := core.Case(spec.Case)
+	da, db, dc := core.Dists(g, d, cs)
+
+	ga := driver.AllocBlock(c, da)
+	gb := driver.AllocBlock(c, db)
+	gc := driver.AllocBlock(c, dc)
+
+	ar, ac := d.M, d.K
+	if cs.TransA() {
+		ar, ac = d.K, d.M
+	}
+	br, bc := d.K, d.N
+	if cs.TransB() {
+		br, bc = d.N, d.K
+	}
+	driver.LoadBlock(c, da, ga, mat.Random(ar, ac, spec.Seed))
+	driver.LoadBlock(c, db, gb, mat.Random(br, bc, spec.Seed+1))
+	if spec.Beta != 0 {
+		driver.LoadBlock(c, dc, gc, mat.Random(d.M, d.N, spec.Seed+2))
+	}
+
+	opts := core.Options{
+		Case:            cs,
+		SingleBuffer:    spec.SingleBuffer,
+		NoDiagonalShift: spec.NoDiagonalShift,
+		KernelThreads:   spec.KernelThreads,
+		MaxTaskK:        spec.MaxTaskK,
+	}
+	if err := core.MultiplyEx(c, g, d, opts, spec.Alpha, spec.Beta, ga, gb, gc); err != nil {
+		return nil, 0, 0, fmt.Errorf("rank %d: %w", c.Rank(), err)
+	}
+	rows, cols := dc.LocalShape(c.Rank())
+	out := c.ReadBuf(c.Local(gc), 0, rows*cols)
+	c.Free(ga)
+	c.Free(gb)
+	c.Free(gc)
+	return out, rows, cols, nil
+}
+
+// runMPCheck exercises the two-sided layer end to end: rank 0 broadcasts a
+// seed vector, every rank adds its own rank to each element, and an
+// Allreduce sums the results. The expected outcome on every rank is
+// Size*base[i] + sum(0..Size-1) — see ExpectedMPCheck.
+func runMPCheck(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
+	n := spec.N
+	if n <= 0 {
+		n = 8
+	}
+	all := make([]int, c.Size())
+	for i := range all {
+		all[i] = i
+	}
+	b := c.LocalBuf(n)
+	if c.Rank() == 0 {
+		c.WriteBuf(b, 0, mpCheckBase(n, spec.Seed))
+	}
+	mp.Bcast(c, 0, all, b, 0, n, 7)
+	vals := c.ReadBuf(b, 0, n)
+	for i := range vals {
+		vals[i] += float64(c.Rank())
+	}
+	c.WriteBuf(b, 0, vals)
+	mp.Allreduce(c, all, b, 0, n, 9)
+	return c.ReadBuf(b, 0, n), 1, n, nil
+}
+
+// mpCheckBase is deliberately small-integer-valued so Bcast+Allreduce
+// results are exact regardless of reduction association order.
+func mpCheckBase(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64((seed + uint64(i)*7) % 1000)
+	}
+	return out
+}
+
+// ExpectedMPCheck computes what every rank's MPCheck result must be.
+func ExpectedMPCheck(n, nprocs int, seed uint64) []float64 {
+	base := mpCheckBase(n, seed)
+	rankSum := float64(nprocs*(nprocs-1)) / 2
+	out := make([]float64, n)
+	for i, v := range base {
+		out[i] = float64(nprocs)*v + rankSum
+	}
+	return out
+}
+
+// WrapChaos applies the spec's fault-injection layers around an engine
+// Ctx, identically on workers and on in-process comparison runs.
+func WrapChaos(c rt.Ctx, spec *JobSpec, nprocs int) (rt.Ctx, error) {
+	if spec.Chaos == nil {
+		return c, nil
+	}
+	plan, err := faults.NewPlan(*spec.Chaos, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := faults.Inject(c, plan, nil)
+	if spec.Recover {
+		wrapped = faults.Resilient(wrapped, faults.RecoveryConfig{})
+	}
+	return wrapped, nil
+}

@@ -1,0 +1,93 @@
+package ipcrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mailbox is the receiver-side half of the two-sided layer. Senders write
+// opMsg frames to the receiving worker's RMA socket; that worker's server
+// goroutine deposits payloads here, where the rank goroutine's
+// Recv/Irecv matches them by (source, tag) — the same eager,
+// non-overtaking discipline as the armci mailbox. Frames from one sender
+// arrive on one ordered connection, so queue order per key is send order.
+type mailbox struct {
+	mu      sync.Mutex
+	queued  map[msgKey][][]float64
+	waiting map[msgKey][]*pendingRecv
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+// pendingRecv is a posted Irecv: the server goroutine fills dst and
+// completes h when a matching message arrives (the handle's channel close
+// is the happens-before edge that publishes dst to the rank goroutine).
+type pendingRecv struct {
+	dst []float64
+	h   *opHandle
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		queued:  make(map[msgKey][][]float64),
+		waiting: make(map[msgKey][]*pendingRecv),
+	}
+}
+
+// deposit hands an arrived payload (already copied out of the wire buffer)
+// to the first waiting receiver, or queues it. Runs on the server goroutine.
+func (m *mailbox) deposit(src, tag int, payload []float64) {
+	key := msgKey{src, tag}
+	m.mu.Lock()
+	if ws := m.waiting[key]; len(ws) > 0 {
+		w := ws[0]
+		m.waiting[key] = ws[1:]
+		m.mu.Unlock()
+		w.complete(payload)
+		return
+	}
+	m.queued[key] = append(m.queued[key], payload)
+	m.mu.Unlock()
+}
+
+// recv posts a receive for n elements into dst and returns its handle,
+// completing it immediately when a message is already queued. Runs on the
+// rank goroutine.
+func (m *mailbox) recv(src, tag int, dst []float64) *opHandle {
+	key := msgKey{src, tag}
+	h := newOpHandle()
+	m.mu.Lock()
+	if q := m.queued[key]; len(q) > 0 {
+		payload := q[0]
+		m.queued[key] = q[1:]
+		m.mu.Unlock()
+		(&pendingRecv{dst: dst, h: h}).complete(payload)
+		return h
+	}
+	m.waiting[key] = append(m.waiting[key], &pendingRecv{dst: dst, h: h})
+	m.mu.Unlock()
+	return h
+}
+
+func (w *pendingRecv) complete(payload []float64) {
+	if len(payload) != len(w.dst) {
+		w.h.fail(fmt.Errorf("ipcrt: Recv of %d elements got a %d-element message", len(w.dst), len(payload)))
+		return
+	}
+	copy(w.dst, payload)
+	w.h.finish()
+}
+
+// abort fails every posted receive (transport death).
+func (m *mailbox) abort(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, ws := range m.waiting {
+		for _, w := range ws {
+			w.h.fail(err)
+		}
+		delete(m.waiting, key)
+	}
+}

@@ -1,0 +1,36 @@
+//go:build !linux && !darwin
+
+package ipcrt
+
+import (
+	"errors"
+	"os/exec"
+)
+
+// Platforms without the mmap shared-segment path: the ipc engine is
+// reported unavailable (Available() == false) and Launch fails cleanly
+// instead of at first segment registration.
+
+func mmapAvailable() bool { return false }
+
+type segMap struct {
+	data []float64
+	raw  []byte
+}
+
+func mapSegment(path string, elems int, create bool) (*segMap, error) {
+	return nil, errors.New("ipcrt: shared-memory segments are not supported on this platform")
+}
+
+func (m *segMap) unmap() error { return nil }
+
+func exitInfo(err error) (code int, sig string) {
+	if err == nil {
+		return 0, ""
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode(), ""
+	}
+	return -1, ""
+}

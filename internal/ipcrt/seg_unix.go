@@ -1,0 +1,95 @@
+//go:build linux || darwin
+
+package ipcrt
+
+// Shared-memory segments. Every Global is one file per rank in the run
+// directory, sized by that rank's Malloc argument and mapped MAP_SHARED by
+// its owner. Ranks on the same emulated node map the owner's file too, so
+// Direct access really is load/store against the same physical pages —
+// the paper's intra-SMP fast path — while cross-node ranks never map it
+// and go through the socket RMA protocol instead.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"unsafe"
+)
+
+// mmapAvailable reports that this platform supports the shared-segment
+// path (gates Available and the ipc engine in the CLIs).
+func mmapAvailable() bool { return true }
+
+// segMap is one mapping of one rank's segment file.
+type segMap struct {
+	data []float64
+	raw  []byte
+}
+
+// mapSegment maps the segment file at path holding elems float64s. When
+// create is true the file is created and sized (the owner's side);
+// otherwise it must already exist with at least the wanted size (a peer
+// mapping after the registration barrier).
+func mapSegment(path string, elems int, create bool) (*segMap, error) {
+	if elems < 0 {
+		return nil, fmt.Errorf("ipcrt: segment of %d elements", elems)
+	}
+	if elems == 0 {
+		return &segMap{}, nil // zero-length mappings are invalid; no data to share
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("ipcrt: segment %s: %w", path, err)
+	}
+	defer f.Close()
+	size := int64(elems) * 8
+	if create {
+		if err := f.Truncate(size); err != nil {
+			return nil, fmt.Errorf("ipcrt: sizing segment %s: %w", path, err)
+		}
+	} else if st, err := f.Stat(); err != nil {
+		return nil, err
+	} else if st.Size() < size {
+		return nil, fmt.Errorf("ipcrt: segment %s is %d bytes, need %d", path, st.Size(), size)
+	}
+	raw, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("ipcrt: mmap %s: %w", path, err)
+	}
+	return &segMap{
+		data: unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), elems),
+		raw:  raw,
+	}, nil
+}
+
+// unmap releases the mapping. The float view must not be used afterwards.
+func (m *segMap) unmap() error {
+	if m == nil || m.raw == nil {
+		return nil
+	}
+	raw := m.raw
+	m.raw, m.data = nil, nil
+	return syscall.Munmap(raw)
+}
+
+// exitInfo extracts an exit code or terminating signal name from a
+// cmd.Wait error, for RankExitError reporting.
+func exitInfo(err error) (code int, sig string) {
+	if err == nil {
+		return 0, ""
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+			return -1, ws.Signal().String()
+		}
+		return ee.ExitCode(), ""
+	}
+	return -1, ""
+}

@@ -1,0 +1,315 @@
+package ipcrt
+
+// The worker process. Every rank of the multi-process engine is one OS
+// process running workerMain: it dials the coordinator's unix socket,
+// announces its rank, opens its own RMA listener, and then executes the
+// jobs the coordinator dispatches. Workers are usually the SAME executable
+// as the coordinator, re-executed with the SRUMMA_IPC_WORKER environment
+// set — MaybeWorker() at the top of a main() (or TestMain) diverts the
+// process into worker mode before any CLI logic runs. cmd/srumma-worker
+// is the standalone form of the same loop.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"srumma/internal/obs"
+	"srumma/internal/rt"
+)
+
+// Environment contract between the launcher and a worker process.
+const (
+	envWorker = "SRUMMA_IPC_WORKER"
+	envRank   = "SRUMMA_IPC_RANK"
+	envNP     = "SRUMMA_IPC_NP"
+	envPPN    = "SRUMMA_IPC_PPN"
+	envDir    = "SRUMMA_IPC_DIR"
+)
+
+// Available reports whether this platform can run the multi-process
+// engine (mmap shared segments + unix sockets).
+func Available() bool { return mmapAvailable() }
+
+func coordSockPath(dir string) string { return filepath.Join(dir, "coord.sock") }
+
+func rankSockPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%d.sock", rank))
+}
+
+func segFilePath(dir string, segID int64, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg%d.r%d", segID, rank))
+}
+
+func removeSegFile(path string) { os.Remove(path) }
+
+// MaybeWorker diverts the process into worker mode when the launcher's
+// environment marker is present, never returning in that case. Every
+// binary that launches ipc clusters by re-executing itself (the CLIs, the
+// engine's own test binary) calls it first thing.
+func MaybeWorker() {
+	if os.Getenv(envWorker) == "" {
+		return
+	}
+	os.Exit(workerMain())
+}
+
+func workerEnvInt(key string) int {
+	v, err := strconv.Atoi(os.Getenv(key))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcrt worker: bad %s=%q: %v\n", key, os.Getenv(key), err)
+		os.Exit(2)
+	}
+	return v
+}
+
+func workerMain() int {
+	rank := workerEnvInt(envRank)
+	np := workerEnvInt(envNP)
+	ppn := workerEnvInt(envPPN)
+	dir := os.Getenv(envDir)
+	topo := rt.Topology{NProcs: np, ProcsPerNode: ppn}
+	if err := topo.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ipcrt worker: %v\n", err)
+		return 2
+	}
+
+	conn, err := net.Dial("unix", coordSockPath(dir))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcrt worker %d: dialing coordinator: %v\n", rank, err)
+		return 2
+	}
+	cc := newCoordClient(conn)
+	c := newCtx(rank, topo, dir, cc)
+
+	ln, err := net.Listen("unix", rankSockPath(dir, rank))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipcrt worker %d: RMA listener: %v\n", rank, err)
+		return 2
+	}
+	defer ln.Close()
+	go c.serveRMA(ln)
+
+	// The hello declares "listener up, ready for jobs"; the coordinator
+	// dispatches only after every rank has said it, so peers can dial
+	// each other unconditionally once a job is running.
+	if err := cc.write(&frame{Op: opHello, P: [5]int64{int64(rank)}}); err != nil {
+		fmt.Fprintf(os.Stderr, "ipcrt worker %d: hello: %v\n", rank, err)
+		return 2
+	}
+	go cc.readLoop()
+
+	for {
+		select {
+		case spec := <-cc.jobs:
+			res := c.runJob(spec)
+			body, err := json.Marshal(res)
+			if err != nil {
+				body, _ = json.Marshal(&RankResult{Rank: rank, Err: fmt.Sprintf("marshaling result: %v", err)})
+			}
+			if err := cc.write(&frame{Op: opFin, Body: body}); err != nil {
+				return 1
+			}
+		case <-cc.shutdown:
+			c.closePeers()
+			return 0
+		case <-cc.dead:
+			// Coordinator gone: nothing to report to, don't linger.
+			return 1
+		}
+	}
+}
+
+// runJob executes one spec with fresh per-job accounting, recovering
+// panics into the result like a team rank does.
+func (c *ipcCtx) runJob(spec *JobSpec) *RankResult {
+	// Failure-path test hooks.
+	if spec.ExitRank == c.rank {
+		os.Exit(spec.ExitCode)
+	}
+	if spec.HangRank == c.rank {
+		select {}
+	}
+
+	res := &RankResult{Rank: c.rank}
+	c.stats = &rt.Stats{}
+	c.directMaps = 0
+	var rec *obs.Recorder
+	if spec.Trace {
+		rec = obs.NewRecorder(c.topo.NProcs, 0)
+		res.EpochUnixNano = rec.Epoch().UnixNano()
+	}
+	c.rec.Store(rec)
+	defer c.rec.Store(nil)
+
+	t0 := time.Now()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				res.Err = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		body, err := WrapChaos(c, spec, c.topo.NProcs)
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		out, rows, cols, err := RunBody(body, spec)
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		if spec.ReturnC {
+			res.C, res.CRows, res.CCols = out, rows, cols
+		}
+	}()
+	if rec != nil {
+		rec.RecordWall(c.rank, obs.KindJob, t0, time.Now())
+		res.Events = rec.Events()
+	}
+	res.Stats = c.stats
+	res.DirectMaps = c.directMaps
+	return res
+}
+
+// coordClient is the worker's half of the control connection: the rank
+// goroutine writes collective requests and FINs; readLoop routes the
+// coordinator's frames back (there is at most one outstanding collective,
+// the rank goroutine being one thread of one SPMD program).
+type coordClient struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	jobs       chan *JobSpec
+	barrierAck chan struct{}
+	mallocAck  chan mallocReply
+	freeAck    chan struct{}
+	shutdown   chan struct{}
+	dead       chan struct{}
+
+	deadOnce sync.Once
+	deadErr  error
+}
+
+type mallocReply struct {
+	segID int64
+	sizes []int
+}
+
+func newCoordClient(conn net.Conn) *coordClient {
+	return &coordClient{
+		conn:       conn,
+		jobs:       make(chan *JobSpec, 1),
+		barrierAck: make(chan struct{}, 1),
+		mallocAck:  make(chan mallocReply, 1),
+		freeAck:    make(chan struct{}, 1),
+		shutdown:   make(chan struct{}),
+		dead:       make(chan struct{}),
+	}
+}
+
+func (cc *coordClient) write(f *frame) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeFrame(cc.conn, f)
+}
+
+func (cc *coordClient) die(err error) {
+	cc.deadOnce.Do(func() {
+		cc.deadErr = err
+		close(cc.dead)
+		cc.conn.Close()
+	})
+}
+
+func (cc *coordClient) readLoop() {
+	for {
+		f, err := readFrame(cc.conn)
+		if err != nil {
+			cc.die(fmt.Errorf("ipcrt: coordinator connection lost: %w", err))
+			return
+		}
+		switch f.Op {
+		case opJob:
+			spec := &JobSpec{ExitRank: -1, HangRank: -1}
+			if err := json.Unmarshal(f.Body, spec); err != nil {
+				cc.die(fmt.Errorf("ipcrt: bad job spec: %w", err))
+				return
+			}
+			cc.jobs <- spec
+		case opBarrierAck:
+			cc.barrierAck <- struct{}{}
+		case opMallocAck:
+			sizes64, err := getInt64s(f.Body)
+			if err != nil {
+				cc.die(err)
+				return
+			}
+			sizes := make([]int, len(sizes64))
+			for i, v := range sizes64 {
+				sizes[i] = int(v)
+			}
+			cc.mallocAck <- mallocReply{segID: f.P[0], sizes: sizes}
+		case opFreeAck:
+			cc.freeAck <- struct{}{}
+		case opShutdown:
+			close(cc.shutdown)
+			return
+		default:
+			cc.die(fmt.Errorf("ipcrt: unexpected control frame %v from coordinator", f.Op))
+			return
+		}
+	}
+}
+
+// barrier runs one counting-barrier round through the coordinator.
+func (cc *coordClient) barrier() {
+	if err := cc.write(&frame{Op: opBarrier}); err != nil {
+		panic(fmt.Errorf("ipcrt: barrier send: %w", err))
+	}
+	select {
+	case <-cc.barrierAck:
+	case <-cc.shutdown:
+		// Shutdown mid-collective: another rank failed or the coordinator is
+		// tearing the cluster down; this barrier can never complete.
+		os.Exit(0)
+	case <-cc.dead:
+		panic(cc.deadErr)
+	}
+}
+
+// malloc registers this rank's segment size and returns the collective's
+// segment id and the full per-rank size table.
+func (cc *coordClient) malloc(elems int) (int64, []int) {
+	if err := cc.write(&frame{Op: opMalloc, P: [5]int64{int64(elems)}}); err != nil {
+		panic(fmt.Errorf("ipcrt: malloc send: %w", err))
+	}
+	select {
+	case r := <-cc.mallocAck:
+		return r.segID, r.sizes
+	case <-cc.shutdown:
+		os.Exit(0)
+		panic("unreachable")
+	case <-cc.dead:
+		panic(cc.deadErr)
+	}
+}
+
+// free runs the collective release round for segID.
+func (cc *coordClient) free(segID int64) {
+	if err := cc.write(&frame{Op: opFree, P: [5]int64{segID}}); err != nil {
+		panic(fmt.Errorf("ipcrt: free send: %w", err))
+	}
+	select {
+	case <-cc.freeAck:
+	case <-cc.shutdown:
+		os.Exit(0)
+	case <-cc.dead:
+		panic(cc.deadErr)
+	}
+}

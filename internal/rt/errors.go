@@ -1,0 +1,23 @@
+package rt
+
+import "errors"
+
+// Engine-independent failure sentinels. Engines wrap their concrete failure
+// types (armci.WatchdogError, ipcrt.RankExitError, ipcrt.DeadlockError, ...)
+// so callers can distinguish the two fundamentally different ways an SPMD
+// job dies without importing every engine:
+//
+//   - ErrRankExited: a rank is GONE — its process exited (crash, os.Exit,
+//     signal) or its goroutine unwound without completing the job. The
+//     concrete error carries the rank id and, for process engines, the exit
+//     code or signal. Retrying on a fresh cluster can succeed.
+//   - ErrRankDeadlocked: a rank is STILL THERE but wedged — blocked in user
+//     code or a collective past the watchdog deadline. The concrete error
+//     carries the set of ranks that never unwound. Retrying the same job
+//     will likely wedge again; the cluster (or team) is poisoned.
+//
+// Test with errors.Is: errors.Is(err, rt.ErrRankExited) etc.
+var (
+	ErrRankExited     = errors.New("rt: rank exited")
+	ErrRankDeadlocked = errors.New("rt: rank deadlocked")
+)
