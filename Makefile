@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke ipc-smoke verify repro chaos chaos-serve bench-recover fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke ipc-smoke cluster-smoke verify repro chaos chaos-serve bench-recover fuzz clean
 
 all: build test
 
@@ -66,12 +66,22 @@ serve-smoke:
 bench-sched:
 	$(GO) run ./cmd/srumma-load -bench-sched -out BENCH_sched.json
 
-# Serving benchmark: one 256^3 GEMM served over the JSON wire, the binary
-# wire, and out of a warm content-addressed result cache — client-observed
-# p50/p99, exact wire bytes, cache hit rate and bit-identity recorded to
-# BENCH_server.json.
+# Serving benchmarks, each a keyed section of BENCH_server.json:
+#   wire          — one 256^3 GEMM over the JSON wire, the binary wire and
+#                   a warm result cache (p50/p99, exact bytes, bit-identity);
+#   cluster       — the same stream served in-process vs sharded across
+#                   OS-process worker nodes (unix and tcp transports),
+#                   bit-identical across arms;
+#   cache_shaping — hit rate and throughput multiplier vs cache size/TTL
+#                   under a shared-weights revisit profile;
+#   overload      — breaker threshold/window sweep (500-rate vs
+#                   availability) and brownout fraction sweep (tail
+#                   latency vs degraded requests).
 bench-serve:
 	$(GO) run ./cmd/srumma-load -bench-wire -out BENCH_server.json
+	$(GO) run ./cmd/srumma-load -bench-cluster -out BENCH_server.json
+	$(GO) run ./cmd/srumma-load -bench-cache -out BENCH_server.json
+	$(GO) run ./cmd/srumma-load -bench-overload -out BENCH_server.json
 
 # Trace both engines end to end: a traced multiply on the virtual-time
 # model and on the real engine, Chrome trace-event JSON exported from
@@ -107,6 +117,15 @@ ipc-smoke:
 	grep -q '"overlap_ratio"' $$tmp/ipc_run.json; \
 	grep -q '"ppn": 2' $$tmp/ipc_run.json; \
 	echo "ipc-smoke: PASS (4 processes bit-identical to armci under -race, traced overlap recorded)"
+
+# Cluster serving gate, race-enabled: /v1/multiply sharded across 2
+# emulated worker nodes x 2 OS-process ranks each, all four transpose
+# cases bit-identical to the in-process route, one induced worker death
+# absorbed by node replacement + handler retry (HTTP 200, same bits), and
+# one seeded mid-compute crash resumed from the salvaged task ledger
+# rather than restarted. Coordinator and every worker run under -race.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterServe' ./internal/server
 
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:
@@ -151,6 +170,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPlan -fuzztime=15s ./internal/faults
 	$(GO) test -fuzz=FuzzBinWire -fuzztime=15s ./internal/server
 	$(GO) test -fuzz=FuzzIPCWire -fuzztime=15s ./internal/ipcrt
+	$(GO) test -fuzz=FuzzTCPWire -fuzztime=15s ./internal/ipcrt
 
 clean:
 	$(GO) clean ./...

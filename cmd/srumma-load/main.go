@@ -48,6 +48,7 @@ import (
 	"srumma/internal/driver"
 	"srumma/internal/faults"
 	"srumma/internal/grid"
+	"srumma/internal/ipcrt"
 	"srumma/internal/mat"
 	"srumma/internal/rt"
 	"srumma/internal/sched"
@@ -256,6 +257,10 @@ type Report struct {
 }
 
 func main() {
+	// -bench-cluster runs cluster-mode servers that re-execute this binary
+	// for their node ranks; a worker copy diverts here and never returns.
+	ipcrt.MaybeWorker()
+
 	log.SetFlags(0)
 	log.SetPrefix("srumma-load: ")
 
@@ -278,6 +283,9 @@ func main() {
 	benchSched := flag.Bool("bench-sched", false, "run the self-contained scheduler benchmark (ignores -addr) and exit")
 	benchChaos := flag.Bool("chaos", false, "run the self-contained crash-recovery benchmark (ignores -addr) and exit")
 	benchWire := flag.Bool("bench-wire", false, "run the self-contained wire-format/cache benchmark (ignores -addr) and exit")
+	benchCluster := flag.Bool("bench-cluster", false, "run the self-contained sharded-vs-in-process serving benchmark (ignores -addr) and exit")
+	benchCache := flag.Bool("bench-cache", false, "run the self-contained cache-shaping sweep (hit rate vs cache size/TTL; ignores -addr) and exit")
+	benchOverload := flag.Bool("bench-overload", false, "run the self-contained breaker/brownout policy sweep (ignores -addr) and exit")
 	flag.Parse()
 
 	if *benchSched {
@@ -290,6 +298,18 @@ func main() {
 	}
 	if *benchWire {
 		runBenchWire(*out, *seed)
+		return
+	}
+	if *benchCluster {
+		runBenchCluster(*out, *seed)
+		return
+	}
+	if *benchCache {
+		runBenchCache(*out, *seed)
+		return
+	}
+	if *benchOverload {
+		runBenchOverload(*out, *seed)
 		return
 	}
 	if *wire != "json" && *wire != "binary" {
@@ -1551,8 +1571,8 @@ type WireArmReport struct {
 	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
 }
 
-// WireBenchReport is the BENCH_server.json document produced by
-// -bench-wire: the same GEMM served three ways — JSON wire, binary wire
+// WireBenchReport is the "wire" section of BENCH_server.json:
+// the same GEMM served three ways — JSON wire, binary wire
 // (cache off for both), and binary wire against a warm result cache —
 // with client-observed latency quantiles, exact wire bytes, and the
 // bit-identity of every response against the first computed result.
@@ -1737,7 +1757,7 @@ func runBenchWire(out string, seed uint64) {
 		rep.RequestBytesRatioX = float64(rep.JSON.RequestBytes) / float64(rb)
 	}
 
-	writeJSONFile(&rep, out)
+	writeSection(out, "wire", &rep)
 	fmt.Printf("wire: %s p50 %.1f ms (json) vs %.1f ms (binary, %.2fx) vs %.1f ms (cached, %.2fx more); request %.0f KB (json) vs %.0f KB (binary, %.2fx); bit-identical %v\n",
 		rep.Shape, rep.JSON.P50Ms, rep.Binary.P50Ms, rep.BinarySpeedupX,
 		rep.Cached.P50Ms, rep.CachedSpeedupX,

@@ -20,15 +20,29 @@ import (
 	"os"
 	"os/signal"
 	goruntime "runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"srumma/internal/armci"
+	"srumma/internal/ipcrt"
 	"srumma/internal/mat"
 	"srumma/internal/server"
 )
 
+// transportName resolves the empty default for log lines.
+func transportName(t string) string {
+	if t == "" {
+		return "unix"
+	}
+	return t
+}
+
 func main() {
+	// Cluster mode re-executes this binary for its node ranks; a worker
+	// copy diverts here and never returns.
+	ipcrt.MaybeWorker()
+
 	log.SetFlags(0)
 	log.SetPrefix("srumma-serve: ")
 
@@ -63,11 +77,22 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache capacity in bytes (0: 256 MiB when the cache is on)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "expire cached results this long after insertion (0: LRU eviction only)")
 	jsonOnly := flag.Bool("json-only", false, "disable the binary wire: binary requests get 415, responses are always JSON")
+	clusterOn := flag.Bool("cluster", false, "shard the distributed route across OS-process worker nodes instead of in-process teams")
+	nodes := flag.Int("nodes", 0, "cluster worker nodes (0: 2; needs -cluster)")
+	clusterPPN := flag.Int("ppn", 0, "ranks per emulated shared-memory domain on each node (0: -procs-per-node)")
+	clusterTransport := flag.String("cluster-transport", "", `node RMA transport: "unix" (default) or "tcp"`)
+	clusterListen := flag.String("listen", "", `fixed "host:port" for the node coordinators' TCP control listeners (node i binds port+i; the addresses srumma-worker -join dials; implies -cluster-transport tcp)`)
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "idle-node health-check period (0: 2s; negative: off)")
 	flag.Parse()
+
+	ppnEff := *ppn
+	if *clusterOn && *clusterPPN > 0 {
+		ppnEff = *clusterPPN
+	}
 
 	s, err := server.New(server.Config{
 		NProcs:           *nprocs,
-		ProcsPerNode:     *ppn,
+		ProcsPerNode:     ppnEff,
 		Teams:            *teams,
 		QueueCap:         *queueCap,
 		SmallMNK:         *smallMNK,
@@ -95,6 +120,11 @@ func main() {
 		CacheBytes:       *cacheBytes,
 		CacheTTL:         *cacheTTL,
 		JSONOnly:         *jsonOnly,
+		Cluster:          *clusterOn,
+		ClusterNodes:     *nodes,
+		ClusterTransport: *clusterTransport,
+		ClusterListen:    strings.TrimPrefix(*clusterListen, "tcp:"),
+		ClusterHeartbeat: *clusterHeartbeat,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -106,6 +136,20 @@ func main() {
 	}
 	log.Printf("listening on %s: %d ranks/team, %d team(s), mode %s, kernel %s, GOMAXPROCS %d",
 		l.Addr(), *nprocs, *teams, *schedMode, mat.KernelName(), goruntime.GOMAXPROCS(0))
+	if *clusterOn {
+		transport := *clusterTransport
+		if transport == "" && *clusterListen != "" {
+			transport = "tcp"
+		}
+		info := s.Metrics()
+		log.Printf("cluster: %d worker nodes x %d ranks (ppn %d), transport %s",
+			len(info.Cluster), *nprocs, ppnEff, transportName(transport))
+		if transport == "tcp" {
+			for _, nd := range info.Cluster {
+				log.Printf("cluster: node %d control listener %s (srumma-worker -join target)", nd.ID, nd.CoordAddr)
+			}
+		}
+	}
 	log.Printf("default kernel threads/rank: %d", armci.DefaultKernelThreads(*nprocs))
 
 	serveErr := make(chan error, 1)

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -60,6 +61,15 @@ func (l *Ledger) Unmark(i int) {
 	}
 }
 
+// Bits exports the completion bitset (a copy) and the task count — the
+// serialized form a cross-process serving layer ships between a worker's
+// salvage and the retry attempt's restore.
+func (l *Ledger) Bits() ([]uint64, int) {
+	out := make([]uint64, len(l.bits))
+	copy(out, l.bits)
+	return out, l.n
+}
+
 // reset clears every mark, keeping the allocation.
 func (l *Ledger) reset() {
 	for i := range l.bits {
@@ -97,6 +107,39 @@ func (j *JobLedger) Rank(rank, ntasks int) *Ledger {
 		panic(fmt.Sprintf("core: ledger for rank %d sized for %d tasks, replan has %d", rank, l.n, ntasks))
 	}
 	return l
+}
+
+// RankBits exports rank's bitset and task count, or (nil, 0) if the
+// rank's executor never created its ledger.
+func (j *JobLedger) RankBits(rank int) ([]uint64, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rank < 0 || rank >= len(j.ranks) || j.ranks[rank] == nil {
+		return nil, 0
+	}
+	return j.ranks[rank].Bits()
+}
+
+// RestoreRank installs a pre-marked ledger for rank from exported bits —
+// the cross-process resume path: a retry attempt in a NEW process restores
+// the salvaged completion state before its executor plans, and the
+// executor's Rank(rank, ntasks) then validates the count. Bits beyond
+// ntasks are discarded.
+func (j *JobLedger) RestoreRank(rank, ntasks int, bitset []uint64) {
+	if ntasks < 0 {
+		panic(fmt.Sprintf("core: RestoreRank with %d tasks", ntasks))
+	}
+	l := newLedger(ntasks)
+	copy(l.bits, bitset)
+	if rem := uint(ntasks & 63); rem != 0 && len(l.bits) > 0 {
+		l.bits[len(l.bits)-1] &= (1 << rem) - 1
+	}
+	for _, w := range l.bits {
+		l.done += bits.OnesCount64(w)
+	}
+	j.mu.Lock()
+	j.ranks[rank] = l
+	j.mu.Unlock()
 }
 
 // Reset clears rank's marks — the restart path for a rank whose partial C

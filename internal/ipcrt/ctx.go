@@ -82,6 +82,10 @@ type ipcCtx struct {
 
 	segMu sync.Mutex
 	segs  map[int64]*segment
+	// pooled holds collectively freed segments the coordinator parked:
+	// every mapping (own and peer) stays live so a reusing Malloc pays
+	// zero mmap or file-system calls.
+	pooled map[int64]*segment
 
 	peerMu sync.Mutex
 	peers  map[int]*peerConn
@@ -92,6 +96,13 @@ type ipcCtx struct {
 
 	kernelThreads int
 	directMaps    int64
+	// mmapMallocs counts segment-file create+mmap calls over the process
+	// lifetime (never reset): the steady-state reuse test pins it flat
+	// across same-shape jobs.
+	mmapMallocs int64
+	// tcpPeers counts peer connections dialed over TCP (process
+	// lifetime), proving the cross-domain scheme selection fired.
+	tcpPeers int64
 }
 
 func newCtx(rank int, topo rt.Topology, dir string, coord *coordClient) *ipcCtx {
@@ -102,6 +113,7 @@ func newCtx(rank int, topo rt.Topology, dir string, coord *coordClient) *ipcCtx 
 		coord:         coord,
 		mbox:          newMailbox(),
 		segs:          make(map[int64]*segment),
+		pooled:        make(map[int64]*segment),
 		peers:         make(map[int]*peerConn),
 		stats:         &rt.Stats{},
 		start:         time.Now(),
@@ -135,6 +147,13 @@ func (c *ipcCtx) SetKernelThreads(n int) {
 // for direct load/store access (the intra-node fast-path counter shipped
 // in RankResult).
 func (c *ipcCtx) DirectMaps() int64 { return c.directMaps }
+
+// MmapMallocs reports lifetime segment-file create+mmap calls; flat across
+// same-shape jobs when the segment pool is doing its job.
+func (c *ipcCtx) MmapMallocs() int64 { return c.mmapMallocs }
+
+// TCPPeers reports lifetime peer connections dialed over TCP.
+func (c *ipcCtx) TCPPeers() int64 { return c.tcpPeers }
 
 func (c *ipcCtx) spanStart() time.Time {
 	if c.rec.Load() == nil {
@@ -207,6 +226,21 @@ func (c *ipcCtx) mapping(segID int64, rank int) *segMap {
 	return m
 }
 
+// peerAddr resolves rank's RMA address from the coordinator's table,
+// picking the scheme per peer: unix inside this rank's shared-memory
+// domain, TCP across domains when the peer advertised one. Without a
+// table (raw-ctx tests), the conventional unix socket path.
+func (c *ipcCtx) peerAddr(rank int) string {
+	var table []string
+	if c.coord != nil {
+		table = c.coord.peerAddrs
+	}
+	if rank < len(table) && table[rank] != "" {
+		return pickAddr(table[rank], c.topo.SameDomain(c.rank, rank))
+	}
+	return "unix:" + rankSockPath(c.dir, rank)
+}
+
 // peer returns the lazily-dialed RMA connection to rank (including this
 // rank itself — atomics route through the owner's server unconditionally).
 func (c *ipcCtx) peer(rank int) *peerConn {
@@ -215,9 +249,13 @@ func (c *ipcCtx) peer(rank int) *peerConn {
 	if pc := c.peers[rank]; pc != nil {
 		return pc
 	}
-	pc, err := dialPeer(c.dir, rank)
+	addr := c.peerAddr(rank)
+	pc, err := dialPeer(addr, rank)
 	if err != nil {
 		panic(err)
+	}
+	if schemeOf(addr) == "tcp" {
+		c.tcpPeers++
 	}
 	c.peers[rank] = pc
 	return pc
@@ -229,17 +267,39 @@ func (c *ipcCtx) Malloc(elems int) rt.Global {
 	if elems < 0 || int64(elems) > maxElems {
 		panic(fmt.Sprintf("ipcrt: Malloc(%d)", elems))
 	}
-	segID, sizes := c.coord.malloc(elems)
-	m, err := mapSegment(c.segPath(segID, c.rank), elems, true)
-	if err != nil {
-		panic(err)
+	segID, sizes, reused := c.coord.malloc(elems)
+	var seg *segment
+	if reused {
+		// The coordinator matched a parked segment with this exact size
+		// profile: reinstate it, mappings and all. Pool membership is
+		// collective (the freeAck that parked it was broadcast), so the
+		// segment must be present on every rank.
+		c.segMu.Lock()
+		seg = c.pooled[segID]
+		delete(c.pooled, segID)
+		if seg == nil {
+			c.segMu.Unlock()
+			panic(fmt.Sprintf("ipcrt: coordinator reused segment %d this rank never pooled", segID))
+		}
+		if got := seg.sizes[c.rank]; got != elems {
+			c.segMu.Unlock()
+			panic(fmt.Sprintf("ipcrt: pooled segment %d holds %d elems, Malloc wants %d", segID, got, elems))
+		}
+		c.segs[segID] = seg
+		c.segMu.Unlock()
+	} else {
+		m, err := mapSegment(c.segPath(segID, c.rank), elems, true)
+		if err != nil {
+			panic(err)
+		}
+		c.mmapMallocs++
+		seg = &segment{id: segID, sizes: sizes, maps: map[int]*segMap{c.rank: m}}
+		c.segMu.Lock()
+		c.segs[segID] = seg
+		c.segMu.Unlock()
 	}
-	seg := &segment{id: segID, sizes: sizes, maps: map[int]*segMap{c.rank: m}}
-	c.segMu.Lock()
-	c.segs[segID] = seg
-	c.segMu.Unlock()
-	// Registration barrier: every rank's file exists and is sized before
-	// anyone maps or RMAs it.
+	// Registration barrier: every rank's file exists and is sized (or its
+	// pooled mappings reinstated) before anyone maps or RMAs it.
 	c.Barrier()
 	return &ipcGlobal{id: segID, sizes: sizes}
 }
@@ -247,12 +307,20 @@ func (c *ipcCtx) Malloc(elems int) rt.Global {
 func (c *ipcCtx) Free(g rt.Global) {
 	gg := g.(*ipcGlobal)
 	// Collective: the barrier guarantees no rank still has ops in flight
-	// against the segment before any mapping is torn down.
-	c.coord.free(gg.id)
+	// against the segment before any mapping is torn down or parked.
+	pooled := c.coord.free(gg.id)
 	c.Barrier()
 	c.segMu.Lock()
 	seg := c.segs[gg.id]
 	delete(c.segs, gg.id)
+	if pooled && seg != nil {
+		// Parked for reuse: keep the file and every mapping live. RMA
+		// service for the id stops (ownData misses) until a Malloc
+		// reinstates it.
+		c.pooled[gg.id] = seg
+		c.segMu.Unlock()
+		return
+	}
 	c.segMu.Unlock()
 	if seg == nil {
 		return

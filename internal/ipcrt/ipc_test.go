@@ -18,6 +18,7 @@ import (
 // test binary, and MaybeWorker diverts those copies before any test runs.
 func TestMain(m *testing.M) {
 	MaybeWorker()
+	maybeJoinWorker() // external-join copies (join_test.go) divert here
 	os.Exit(m.Run())
 }
 

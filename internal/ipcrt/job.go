@@ -29,6 +29,24 @@ type JobSpec struct {
 	// Seed generates A (Seed), B (Seed+1) and, when Beta != 0, the initial
 	// C (Seed+2) via mat.Random on every rank identically.
 	Seed uint64
+	// Data switches to inline operands (the serving path): A, B and — when
+	// Beta != 0 — CIn carry the full row-major matrices, and every rank
+	// packs its own block out of them instead of seed-generating.
+	Data bool
+	A    []float64 `json:",omitempty"`
+	B    []float64 `json:",omitempty"`
+	CIn  []float64 `json:",omitempty"`
+	// UseLedger attaches a core.JobLedger so a crashing rank's completion
+	// bitset rides back in its salvage; Prior* restore per-rank state
+	// salvaged from a failed attempt (C block, ledger bits, task count) —
+	// a rank with all three resumes mid-job, every other rank restarts.
+	UseLedger  bool
+	PriorC     map[int][]float64 `json:",omitempty"`
+	PriorBits  map[int][]uint64  `json:",omitempty"`
+	PriorTasks map[int]int       `json:",omitempty"`
+	// ABFT forwards Huang–Abraham block verification to core.Options.
+	ABFT    bool
+	ABFTTol float64
 	// Executor knobs, forwarded to core.Options.
 	SingleBuffer    bool
 	NoDiagonalShift bool
@@ -79,8 +97,31 @@ type RankResult struct {
 	EpochUnixNano int64
 	// DirectMaps counts distinct PEER segments this rank mapped for direct
 	// load/store access — the observable proof that intra-node operands
-	// took the mmap path rather than the socket.
+	// took the mmap path rather than the socket. Reset per job, so a
+	// steady-state job on a warm segment pool reports 0.
 	DirectMaps int64
+	// MmapMallocs counts lifetime segment-file create+mmap calls in the
+	// worker process; flat across same-shape jobs when the coordinator's
+	// segment pool is reusing parked segments.
+	MmapMallocs int64
+	// TCPPeers counts lifetime peer connections this rank dialed over TCP
+	// (the cross-domain scheme of the tcp transport).
+	TCPPeers int64
+	// Salvage of a failed body: when Salvaged is true, C/CRows/CCols hold
+	// the partial block and LedgerBits/LedgerTasks this rank's completion
+	// bitset — enough for a retry attempt to resume instead of restart.
+	Salvaged    bool
+	LedgerBits  []uint64 `json:",omitempty"`
+	LedgerTasks int
+}
+
+// Salvage receives a failed job body's recoverable state (see RunBodyEx).
+type Salvage struct {
+	Valid      bool
+	C          []float64
+	Rows, Cols int
+	Bits       []uint64
+	Tasks      int
 }
 
 // RunBody executes one spec against any data-carrying engine Ctx. It is
@@ -88,6 +129,22 @@ type RankResult struct {
 // their ipc ctx, and comparison harnesses call it on armci with the same
 // topology. Results: this rank's C block and its shape.
 func RunBody(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
+	return RunBodyEx(c, spec, nil)
+}
+
+// matFrom wraps a row-major inline operand as a matrix view.
+func matFrom(rows, cols int, data []float64, name string) *mat.Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("ipcrt: inline operand %s holds %d elements, want %dx%d", name, len(data), rows, cols))
+	}
+	return &mat.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: data}
+}
+
+// RunBodyEx is RunBody with a salvage sink: when the body panics mid-run
+// (an injected crash, a real bug) and the spec attached a ledger, the
+// partial C block and the completion bitset are captured into salv before
+// the panic continues — the raw material of a cross-process resume.
+func RunBodyEx(c rt.Ctx, spec *JobSpec, salv *Salvage) ([]float64, int, int, error) {
 	if spec.MPCheck {
 		return runMPCheck(c, spec)
 	}
@@ -106,6 +163,25 @@ func RunBody(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
 	gb := driver.AllocBlock(c, db)
 	gc := driver.AllocBlock(c, dc)
 
+	me := c.Rank()
+	rows, cols := dc.LocalShape(me)
+
+	// Resume state: this rank rejoins mid-job only with all three pieces
+	// of salvage (partial C, ledger bits, task count); otherwise it
+	// restarts from the loaded operands with an empty ledger.
+	var jl *core.JobLedger
+	if spec.UseLedger {
+		jl = core.NewJobLedger(c.Size())
+	}
+	prior := spec.PriorC[me]
+	resumed := false
+	if jl != nil && len(prior) == rows*cols {
+		if bits := spec.PriorBits[me]; len(bits) > 0 && spec.PriorTasks[me] > 0 {
+			jl.RestoreRank(me, spec.PriorTasks[me], bits)
+			resumed = true
+		}
+	}
+
 	ar, ac := d.M, d.K
 	if cs.TransA() {
 		ar, ac = d.K, d.M
@@ -114,9 +190,19 @@ func RunBody(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
 	if cs.TransB() {
 		br, bc = d.N, d.K
 	}
-	driver.LoadBlock(c, da, ga, mat.Random(ar, ac, spec.Seed))
-	driver.LoadBlock(c, db, gb, mat.Random(br, bc, spec.Seed+1))
-	if spec.Beta != 0 {
+	if spec.Data {
+		driver.LoadBlock(c, da, ga, matFrom(ar, ac, spec.A, "A"))
+		driver.LoadBlock(c, db, gb, matFrom(br, bc, spec.B, "B"))
+	} else {
+		driver.LoadBlock(c, da, ga, mat.Random(ar, ac, spec.Seed))
+		driver.LoadBlock(c, db, gb, mat.Random(br, bc, spec.Seed+1))
+	}
+	switch {
+	case resumed:
+		c.WriteBuf(c.Local(gc), 0, prior)
+	case spec.Beta != 0 && spec.Data:
+		driver.LoadBlock(c, dc, gc, matFrom(d.M, d.N, spec.CIn, "C"))
+	case spec.Beta != 0:
 		driver.LoadBlock(c, dc, gc, mat.Random(d.M, d.N, spec.Seed+2))
 	}
 
@@ -126,11 +212,31 @@ func RunBody(c rt.Ctx, spec *JobSpec) ([]float64, int, int, error) {
 		NoDiagonalShift: spec.NoDiagonalShift,
 		KernelThreads:   spec.KernelThreads,
 		MaxTaskK:        spec.MaxTaskK,
+		Ledger:          jl,
+		ABFT:            spec.ABFT,
+		ABFTTol:         spec.ABFTTol,
+	}
+	if salv != nil && jl != nil {
+		defer func() {
+			if p := recover(); p != nil {
+				// Best-effort: the engine may be half-wedged, so a salvage
+				// failure must not mask the original panic.
+				func() {
+					defer func() { _ = recover() }()
+					cBlock := c.ReadBuf(c.Local(gc), 0, rows*cols)
+					if bits, n := jl.RankBits(me); len(bits) > 0 && n > 0 {
+						salv.C, salv.Rows, salv.Cols = cBlock, rows, cols
+						salv.Bits, salv.Tasks = bits, n
+						salv.Valid = true
+					}
+				}()
+				panic(p)
+			}
+		}()
 	}
 	if err := core.MultiplyEx(c, g, d, opts, spec.Alpha, spec.Beta, ga, gb, gc); err != nil {
-		return nil, 0, 0, fmt.Errorf("rank %d: %w", c.Rank(), err)
+		return nil, 0, 0, fmt.Errorf("rank %d: %w", me, err)
 	}
-	rows, cols := dc.LocalShape(c.Rank())
 	out := c.ReadBuf(c.Local(gc), 0, rows*cols)
 	c.Free(ga)
 	c.Free(gb)

@@ -24,9 +24,54 @@ package ipcrt
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
+
+// Addresses are scheme-prefixed ("unix:/path", "tcp:host:port"); a rank's
+// address-table entry may list several, "|"-separated, in which case the
+// dialer picks by scheme (see pickAddr).
+
+// schemeOf splits the scheme off a single address.
+func schemeOf(addr string) string {
+	if i := strings.IndexByte(addr, ':'); i > 0 {
+		return addr[:i]
+	}
+	return ""
+}
+
+// dialAddr connects to one scheme-prefixed address.
+func dialAddr(addr string) (net.Conn, error) {
+	i := strings.IndexByte(addr, ':')
+	if i <= 0 || i == len(addr)-1 {
+		return nil, fmt.Errorf("ipcrt: malformed address %q", addr)
+	}
+	scheme, rest := addr[:i], addr[i+1:]
+	switch scheme {
+	case "unix", "tcp":
+		return net.Dial(scheme, rest)
+	}
+	return nil, fmt.Errorf("ipcrt: unsupported address scheme %q", scheme)
+}
+
+// pickAddr selects the transport for one peer from its advertised entry:
+// shared-memory-domain peers get the unix socket (cheapest local path),
+// cross-domain peers get TCP when the peer offers it. Falls back to the
+// first address either way.
+func pickAddr(entry string, sameDomain bool) string {
+	addrs := strings.Split(entry, "|")
+	want := "tcp"
+	if sameDomain {
+		want = "unix"
+	}
+	for _, a := range addrs {
+		if schemeOf(a) == want {
+			return a
+		}
+	}
+	return addrs[0]
+}
 
 // doneHandle is an already-completed nonblocking operation (direct-path
 // gets and puts complete eagerly, like armci's single-address-space ops).
@@ -83,10 +128,10 @@ type peerConn struct {
 	dead    error
 }
 
-func dialPeer(dir string, to int) (*peerConn, error) {
-	conn, err := net.Dial("unix", rankSockPath(dir, to))
+func dialPeer(addr string, to int) (*peerConn, error) {
+	conn, err := dialAddr(addr)
 	if err != nil {
-		return nil, fmt.Errorf("ipcrt: dialing rank %d: %w", to, err)
+		return nil, fmt.Errorf("ipcrt: dialing rank %d at %s: %w", to, addr, err)
 	}
 	pc := &peerConn{to: to, conn: conn, pending: make(map[uint64]*pendingOp)}
 	go pc.readLoop()

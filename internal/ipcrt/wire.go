@@ -56,6 +56,9 @@ import (
 //	opChecksum   p0=segID p1=off p2=ld p3=rows p4=cols   ack: p0=checksum bits
 //	opAck        response frame; seq echoes the request
 //	opErr        response frame; body=error text
+//	opAddrs      body=JSON []string per-rank RMA addresses (coordinator -> worker)
+//	opPing       p0=ping seq (coordinator -> worker)     reply: opPong
+//	opPong       p0=echoed ping seq (worker -> coordinator)
 const (
 	wireMagic   = uint32(0x31495253) // "SRI1" read little-endian
 	wireVersion = 1
@@ -99,6 +102,12 @@ const (
 	// RMA responses, owning worker -> requester.
 	opAck
 	opErr
+	// Cluster control additions (appended so earlier op values stay stable):
+	// the per-rank address table broadcast after launch, and the liveness
+	// ping/pong the node supervisor's heartbeat rides on.
+	opAddrs
+	opPing
+	opPong
 	opCount // sentinel, not a valid op
 )
 
@@ -106,7 +115,7 @@ var opNames = [opCount]string{
 	"invalid", "hello", "barrier", "malloc", "free", "fin",
 	"job", "barrier-ack", "malloc-ack", "free-ack", "shutdown",
 	"get", "get-sub", "put", "put-sub", "acc", "fetch-add", "msg", "checksum",
-	"ack", "err",
+	"ack", "err", "addrs", "ping", "pong",
 }
 
 func (o op) String() string {
@@ -215,6 +224,9 @@ func validateFrame(f *frame, bodyLen int64) error {
 	case opHello:
 		if f.P[0] < 0 {
 			return fmt.Errorf("ipcrt: hello: negative rank %d", f.P[0])
+		}
+		if f.P[1] < 0 || f.P[1] > 65535 {
+			return fmt.Errorf("ipcrt: hello: RMA port %d out of range", f.P[1])
 		}
 	case opMsg:
 		if f.P[0] < 0 {

@@ -25,11 +25,13 @@ import (
 
 // Environment contract between the launcher and a worker process.
 const (
-	envWorker = "SRUMMA_IPC_WORKER"
-	envRank   = "SRUMMA_IPC_RANK"
-	envNP     = "SRUMMA_IPC_NP"
-	envPPN    = "SRUMMA_IPC_PPN"
-	envDir    = "SRUMMA_IPC_DIR"
+	envWorker    = "SRUMMA_IPC_WORKER"
+	envRank      = "SRUMMA_IPC_RANK"
+	envNP        = "SRUMMA_IPC_NP"
+	envPPN       = "SRUMMA_IPC_PPN"
+	envDir       = "SRUMMA_IPC_DIR"
+	envCoord     = "SRUMMA_IPC_COORD"
+	envTransport = "SRUMMA_IPC_TRANSPORT"
 )
 
 // Available reports whether this platform can run the multi-process
@@ -68,18 +70,52 @@ func workerEnvInt(key string) int {
 	return v
 }
 
+// WorkerParams describes one worker's identity and wiring — what the env
+// contract carries for spawned workers, and what cmd/srumma-worker -join
+// supplies explicitly for external ones.
+type WorkerParams struct {
+	Rank, NP, PPN int
+	// Dir is the shared run directory for segment files and unix RMA
+	// sockets (external workers must share a filesystem with the
+	// coordinator's emulated nodes they co-host).
+	Dir string
+	// CoordAddr is the scheme-prefixed coordinator control address
+	// ("unix:/path/coord.sock" or "tcp:host:port"). Empty = the default
+	// unix socket under Dir.
+	CoordAddr string
+	// Transport "tcp" additionally opens a TCP RMA listener, advertised
+	// in the hello so cross-domain peers dial it instead of the socket
+	// file. Default "unix".
+	Transport string
+}
+
 func workerMain() int {
-	rank := workerEnvInt(envRank)
-	np := workerEnvInt(envNP)
-	ppn := workerEnvInt(envPPN)
-	dir := os.Getenv(envDir)
-	topo := rt.Topology{NProcs: np, ProcsPerNode: ppn}
+	return RunWorker(WorkerParams{
+		Rank:      workerEnvInt(envRank),
+		NP:        workerEnvInt(envNP),
+		PPN:       workerEnvInt(envPPN),
+		Dir:       os.Getenv(envDir),
+		CoordAddr: os.Getenv(envCoord),
+		Transport: os.Getenv(envTransport),
+	})
+}
+
+// RunWorker runs one worker rank to completion: dial the coordinator,
+// open RMA listeners, hello, then serve jobs until shutdown. Returns the
+// process exit code.
+func RunWorker(p WorkerParams) int {
+	rank, dir := p.Rank, p.Dir
+	topo := rt.Topology{NProcs: p.NP, ProcsPerNode: p.PPN}
 	if err := topo.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "ipcrt worker: %v\n", err)
 		return 2
 	}
 
-	conn, err := net.Dial("unix", coordSockPath(dir))
+	coordAddr := p.CoordAddr
+	if coordAddr == "" {
+		coordAddr = "unix:" + coordSockPath(dir)
+	}
+	conn, err := dialAddr(coordAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipcrt worker %d: dialing coordinator: %v\n", rank, err)
 		return 2
@@ -95,10 +131,24 @@ func workerMain() int {
 	defer ln.Close()
 	go c.serveRMA(ln)
 
+	// The TCP RMA listener (tcp transport only): same protocol, same
+	// serve loop, a different scheme in the address table.
+	tcpPort := int64(0)
+	if p.Transport == "tcp" {
+		tln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipcrt worker %d: TCP RMA listener: %v\n", rank, err)
+			return 2
+		}
+		defer tln.Close()
+		go c.serveRMA(tln)
+		tcpPort = int64(tln.Addr().(*net.TCPAddr).Port)
+	}
+
 	// The hello declares "listener up, ready for jobs"; the coordinator
 	// dispatches only after every rank has said it, so peers can dial
 	// each other unconditionally once a job is running.
-	if err := cc.write(&frame{Op: opHello, P: [5]int64{int64(rank)}}); err != nil {
+	if err := cc.write(&frame{Op: opHello, P: [5]int64{int64(rank), tcpPort}}); err != nil {
 		fmt.Fprintf(os.Stderr, "ipcrt worker %d: hello: %v\n", rank, err)
 		return 2
 	}
@@ -148,6 +198,7 @@ func (c *ipcCtx) runJob(spec *JobSpec) *RankResult {
 	defer c.rec.Store(nil)
 
 	t0 := time.Now()
+	salv := &Salvage{}
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -159,7 +210,7 @@ func (c *ipcCtx) runJob(spec *JobSpec) *RankResult {
 			res.Err = err.Error()
 			return
 		}
-		out, rows, cols, err := RunBody(body, spec)
+		out, rows, cols, err := RunBodyEx(body, spec, salv)
 		if err != nil {
 			res.Err = err.Error()
 			return
@@ -168,12 +219,19 @@ func (c *ipcCtx) runJob(spec *JobSpec) *RankResult {
 			res.C, res.CRows, res.CCols = out, rows, cols
 		}
 	}()
+	if res.Err != "" && salv.Valid {
+		res.C, res.CRows, res.CCols = salv.C, salv.Rows, salv.Cols
+		res.LedgerBits, res.LedgerTasks = salv.Bits, salv.Tasks
+		res.Salvaged = true
+	}
 	if rec != nil {
 		rec.RecordWall(c.rank, obs.KindJob, t0, time.Now())
 		res.Events = rec.Events()
 	}
 	res.Stats = c.stats
 	res.DirectMaps = c.directMaps
+	res.MmapMallocs = c.mmapMallocs
+	res.TCPPeers = c.tcpPeers
 	return res
 }
 
@@ -188,17 +246,23 @@ type coordClient struct {
 	jobs       chan *JobSpec
 	barrierAck chan struct{}
 	mallocAck  chan mallocReply
-	freeAck    chan struct{}
+	freeAck    chan bool
 	shutdown   chan struct{}
 	dead       chan struct{}
+
+	// peerAddrs is the coordinator's address table (opAddrs), written by
+	// readLoop before any job is delivered — the jobs channel is the
+	// happens-before edge to the rank goroutine that dials peers.
+	peerAddrs []string
 
 	deadOnce sync.Once
 	deadErr  error
 }
 
 type mallocReply struct {
-	segID int64
-	sizes []int
+	segID  int64
+	sizes  []int
+	reused bool
 }
 
 func newCoordClient(conn net.Conn) *coordClient {
@@ -207,7 +271,7 @@ func newCoordClient(conn net.Conn) *coordClient {
 		jobs:       make(chan *JobSpec, 1),
 		barrierAck: make(chan struct{}, 1),
 		mallocAck:  make(chan mallocReply, 1),
-		freeAck:    make(chan struct{}, 1),
+		freeAck:    make(chan bool, 1),
 		shutdown:   make(chan struct{}),
 		dead:       make(chan struct{}),
 	}
@@ -254,9 +318,24 @@ func (cc *coordClient) readLoop() {
 			for i, v := range sizes64 {
 				sizes[i] = int(v)
 			}
-			cc.mallocAck <- mallocReply{segID: f.P[0], sizes: sizes}
+			cc.mallocAck <- mallocReply{segID: f.P[0], sizes: sizes, reused: f.P[1] != 0}
 		case opFreeAck:
-			cc.freeAck <- struct{}{}
+			cc.freeAck <- f.P[0] != 0
+		case opAddrs:
+			var addrs []string
+			if err := json.Unmarshal(f.Body, &addrs); err != nil {
+				cc.die(fmt.Errorf("ipcrt: bad address table: %w", err))
+				return
+			}
+			cc.peerAddrs = addrs
+		case opPing:
+			// Answered from the read loop so a wedged job body cannot fake
+			// liveness for the whole process — but a healthy worker always
+			// pongs, even mid-job.
+			if err := cc.write(&frame{Op: opPong, P: [5]int64{f.P[0]}}); err != nil {
+				cc.die(fmt.Errorf("ipcrt: pong: %w", err))
+				return
+			}
 		case opShutdown:
 			close(cc.shutdown)
 			return
@@ -284,14 +363,15 @@ func (cc *coordClient) barrier() {
 }
 
 // malloc registers this rank's segment size and returns the collective's
-// segment id and the full per-rank size table.
-func (cc *coordClient) malloc(elems int) (int64, []int) {
+// segment id, the full per-rank size table, and whether the id names a
+// parked pool segment to reinstate instead of creating files.
+func (cc *coordClient) malloc(elems int) (int64, []int, bool) {
 	if err := cc.write(&frame{Op: opMalloc, P: [5]int64{int64(elems)}}); err != nil {
 		panic(fmt.Errorf("ipcrt: malloc send: %w", err))
 	}
 	select {
 	case r := <-cc.mallocAck:
-		return r.segID, r.sizes
+		return r.segID, r.sizes, r.reused
 	case <-cc.shutdown:
 		os.Exit(0)
 		panic("unreachable")
@@ -300,15 +380,18 @@ func (cc *coordClient) malloc(elems int) (int64, []int) {
 	}
 }
 
-// free runs the collective release round for segID.
-func (cc *coordClient) free(segID int64) {
+// free runs the collective release round for segID; pooled=true means the
+// coordinator parked the segment and every mapping must be kept.
+func (cc *coordClient) free(segID int64) (pooled bool) {
 	if err := cc.write(&frame{Op: opFree, P: [5]int64{segID}}); err != nil {
 		panic(fmt.Errorf("ipcrt: free send: %w", err))
 	}
 	select {
-	case <-cc.freeAck:
+	case pooled = <-cc.freeAck:
+		return pooled
 	case <-cc.shutdown:
 		os.Exit(0)
+		panic("unreachable")
 	case <-cc.dead:
 		panic(cc.deadErr)
 	}

@@ -40,8 +40,10 @@ type schedJob struct {
 	d   core.Dims
 	ctx context.Context // request context; Done() doubles as Task.Cancel
 	// rec carries the SRUMMA route's recovery state (ledger + salvaged C
-	// segments) across retry attempts; nil on the small route.
+	// segments) across retry attempts; nil on the small route. crec is its
+	// cluster-route twin (cross-process salvage); at most one is set.
 	rec    *recoverJob
+	crec   *clusterRecover
 	traced bool // head-sampling verdict for this request's spans
 
 	out      *mat.Matrix
@@ -119,6 +121,13 @@ func (s *Server) execSRUMMATask(tm *armci.Team, t *sched.Task) sched.Outcome {
 	if t.Cancelled() {
 		t.Finish(sched.ErrCancelled)
 		return sched.Outcome{}
+	}
+	if job.crec != nil {
+		// Cluster route: the pool's worker processes run the job; the team
+		// hosting this dispatch just serializes cluster jobs with the rest
+		// of the workload. Node failure is repaired inside the pool, so it
+		// never poisons the team (no ReplaceWorker).
+		return s.execClusterTask(t, job)
 	}
 	if t.Attempts() > 1 && job.rec != nil {
 		// The scheduler requeued this task (watchdog-leaked team): reconcile

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"srumma/internal/cluster"
 	"srumma/internal/obs"
 	"srumma/internal/sched"
 )
@@ -78,6 +79,10 @@ type MetricsSnapshot struct {
 	// Breakers is the per-route circuit-breaker view (omitted when the
 	// breaker is disabled).
 	Breakers map[string]BreakerStats `json:"breakers,omitempty"`
+
+	// Cluster is the node pool's supervision view (omitted outside cluster
+	// mode): per-node health, job counts, and replacements.
+	Cluster []cluster.NodeStats `json:"cluster,omitempty"`
 }
 
 // RecoveryStats is the recovery slice of a metrics snapshot.
@@ -171,9 +176,10 @@ func newMetrics(queueCap int) *metrics {
 		flops:         reg.Float("server.flops"),
 		overall:       reg.Histogram("server.latency"),
 		routes: map[string]*obs.Histogram{
-			routeSmall:  reg.Histogram("server.latency.route." + routeSmall),
-			routeSRUMMA: reg.Histogram("server.latency.route." + routeSRUMMA),
-			routeCache:  reg.Histogram("server.latency.route." + routeCache),
+			routeSmall:   reg.Histogram("server.latency.route." + routeSmall),
+			routeSRUMMA:  reg.Histogram("server.latency.route." + routeSRUMMA),
+			routeCache:   reg.Histogram("server.latency.route." + routeCache),
+			routeCluster: reg.Histogram("server.latency.route." + routeCluster),
 		},
 		wires: map[string]*wireInstruments{
 			wireJSON:   newWireInstruments(reg, wireJSON),

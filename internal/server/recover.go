@@ -18,6 +18,8 @@ import (
 
 	"srumma/internal/armci"
 	"srumma/internal/core"
+	"srumma/internal/ipcrt"
+	"srumma/internal/rt"
 	"srumma/internal/sched"
 )
 
@@ -82,9 +84,11 @@ func (rj *recoverJob) prepareRetry() int {
 }
 
 // retryableRunError classifies a failed SRUMMA run: rank panics (injected
-// crashes included), leaked-rank watchdog reports and exhausted ABFT
-// recomputes are transient-with-recovery; cancellations, deadlines and
-// drain are final.
+// crashes included), leaked-rank watchdog reports, exhausted ABFT
+// recomputes, and — on the cluster route — worker-process death or
+// deadlock (rt.ErrRankExited / rt.ErrRankDeadlocked, surfaced after the
+// pool replaced the node) and worker-side job-body failures are
+// transient-with-recovery; cancellations, deadlines and drain are final.
 func retryableRunError(err error) bool {
 	if err == nil {
 		return false
@@ -99,7 +103,10 @@ func retryableRunError(err error) bool {
 	}
 	var rpe *armci.RankPanicError
 	var werr *armci.WatchdogError
-	return errors.As(err, &rpe) || errors.As(err, &werr) || errors.Is(err, core.ErrABFT)
+	var rje *ipcrt.RankJobError
+	return errors.As(err, &rpe) || errors.As(err, &werr) || errors.Is(err, core.ErrABFT) ||
+		errors.Is(err, rt.ErrRankExited) || errors.Is(err, rt.ErrRankDeadlocked) ||
+		errors.As(err, &rje)
 }
 
 // retryBackoff is the wait before retry attempt `attempt` (0-based):

@@ -38,10 +38,12 @@ import (
 	"time"
 
 	"srumma/internal/armci"
+	"srumma/internal/cluster"
 	"srumma/internal/core"
 	"srumma/internal/driver"
 	"srumma/internal/faults"
 	"srumma/internal/grid"
+	"srumma/internal/ipcrt"
 	"srumma/internal/mat"
 	"srumma/internal/obs"
 	"srumma/internal/rt"
@@ -50,11 +52,14 @@ import (
 
 // Execution tiers. routeCache is the zero-compute tier: a content-addressed
 // result-cache hit that skips admission queueing, the scheduler, and the
-// engine entirely.
+// engine entirely. routeCluster replaces routeSRUMMA when the server runs
+// in cluster mode: the same large products, sharded across OS-process
+// worker nodes instead of the in-process teams.
 const (
-	routeSmall  = "small"
-	routeSRUMMA = "srumma"
-	routeCache  = "cache"
+	routeSmall   = "small"
+	routeSRUMMA  = "srumma"
+	routeCache   = "cache"
+	routeCluster = "cluster"
 )
 
 // Config sizes the service. The zero value gets production-lean defaults
@@ -159,6 +164,27 @@ type Config struct {
 	// TraceEvents > 0). 0 or 1 keeps always-on tracing.
 	TraceSample int
 
+	// Cluster shards the SRUMMA route across OS-process worker nodes: an
+	// internal/cluster pool of ClusterNodes nodes (each NProcs ranks, PPN
+	// ProcsPerNode) replaces the in-process distributed tier. Requires
+	// SchedMode "sched". The small route, batching, cache, breaker and
+	// retry machinery are unchanged; worker death folds into the retry
+	// budget via the pool's typed errors and the cross-process salvage.
+	Cluster bool
+	// ClusterNodes is the pool size (default 2).
+	ClusterNodes int
+	// ClusterTransport selects each node's inter-domain RMA transport:
+	// "unix" (default) or "tcp".
+	ClusterTransport string
+	// ClusterListen, when set, binds each node coordinator's TCP control
+	// listener at a fixed "host:port" (node i gets port+i) instead of an
+	// ephemeral one — the addresses external workers -join, reported per
+	// node in /metrics. Implies ClusterTransport "tcp".
+	ClusterListen string
+	// ClusterHeartbeat is the idle-node health-check period (default 2s;
+	// negative disables the background checker).
+	ClusterHeartbeat time.Duration
+
 	// CacheEntries enables the content-addressed result cache when > 0:
 	// operands are SHA-256 digested at decode, identical requests are
 	// served bit-identical results from a bounded LRU without touching
@@ -252,6 +278,20 @@ func (c Config) fill() Config {
 	if c.CacheEntries > 0 && c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.Cluster {
+		if c.ClusterNodes <= 0 {
+			c.ClusterNodes = 2
+		}
+		if c.ClusterListen != "" && c.ClusterTransport == "" {
+			c.ClusterTransport = "tcp"
+		}
+		if c.ClusterHeartbeat == 0 {
+			c.ClusterHeartbeat = 2 * time.Second
+		}
+		if c.ClusterHeartbeat < 0 {
+			c.ClusterHeartbeat = 0
+		}
+	}
 	return c
 }
 
@@ -269,6 +309,10 @@ type Server struct {
 	// Scheduler mode ("sched", default): the workload scheduler owns
 	// admission, ordering, batching and the elastic team pool.
 	sched *sched.Scheduler
+
+	// cpool is the cluster node pool (nil unless Config.Cluster): the
+	// SRUMMA route's jobs shard onto it instead of the in-process teams.
+	cpool *cluster.Pool
 
 	met      *metrics
 	draining atomic.Bool
@@ -334,6 +378,9 @@ func New(cfg Config) (*Server, error) {
 			routeSmall:  newBreaker(routeSmall, cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, s.met.reg, time.Now),
 			routeSRUMMA: newBreaker(routeSRUMMA, cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, s.met.reg, time.Now),
 		}
+		if cfg.Cluster {
+			s.breakers[routeCluster] = newBreaker(routeCluster, cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown, s.met.reg, time.Now)
+		}
 	}
 	if cfg.TraceEvents > 0 {
 		// One ring-buffered lane per engine rank plus one for the request
@@ -347,10 +394,38 @@ func New(cfg Config) (*Server, error) {
 		s.laneNames[cfg.NProcs] = "server"
 		s.laneNames[cfg.NProcs+1] = "sched"
 	}
+	if cfg.Cluster {
+		if cfg.SchedMode != "sched" {
+			return nil, fmt.Errorf("server: cluster mode requires SchedMode \"sched\", got %q", cfg.SchedMode)
+		}
+		if !ipcrt.Available() {
+			return nil, fmt.Errorf("server: cluster mode needs the multi-process engine, unavailable on this platform")
+		}
+		if cfg.ClusterListen != "" && cfg.ClusterTransport != "tcp" {
+			return nil, fmt.Errorf("server: ClusterListen needs the tcp cluster transport, got %q", cfg.ClusterTransport)
+		}
+		pool, err := cluster.New(cluster.Config{
+			Nodes:          cfg.ClusterNodes,
+			NP:             cfg.NProcs,
+			PPN:            cfg.ProcsPerNode,
+			Transport:      cfg.ClusterTransport,
+			ListenAddr:     cfg.ClusterListen,
+			JobTimeout:     cfg.MaxTimeout,
+			HeartbeatEvery: cfg.ClusterHeartbeat,
+			Metrics:        s.met.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cpool = pool
+	}
 	switch cfg.SchedMode {
 	case "sched":
 		sc, err := s.newScheduler()
 		if err != nil {
+			if s.cpool != nil {
+				s.cpool.Close()
+			}
 			return nil, err
 		}
 		s.sched = sc
@@ -392,6 +467,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 	}
 	snap.Wire = s.met.wireSnapshot()
+	if s.cpool != nil {
+		snap.Cluster = s.cpool.Snapshot()
+	}
 	if s.cache != nil {
 		cs := s.cache.stats()
 		cs.BlockDedup = s.blocks.dedupCount()
@@ -439,8 +517,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.sched != nil {
 		// Scheduler mode: drain the run queue and close every pooled team
-		// (leaked-rank reports surface through the scheduler's Close).
-		if cerr := s.sched.Close(ctx); cerr != nil {
+		// (leaked-rank reports surface through the scheduler's Close), then
+		// shut the cluster node pool down — after the scheduler, so no
+		// dispatch can race a closing pool.
+		cerr := s.sched.Close(ctx)
+		if s.cpool != nil {
+			s.cpool.Close()
+		}
+		if cerr != nil {
 			return cerr
 		}
 		return herr
@@ -536,12 +620,24 @@ type InfoResponse struct {
 	CacheEntries    int     `json:"cache_entries"`
 	CacheBytes      int64   `json:"cache_bytes,omitempty"`
 	CacheTTLSeconds float64 `json:"cache_ttl_s,omitempty"`
+	// Cluster deployment parameters: node count and inter-domain RMA
+	// transport of the sharded distributed tier (zero nodes = in-process).
+	ClusterNodes     int    `json:"cluster_nodes,omitempty"`
+	ClusterTransport string `json:"cluster_transport,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	kt := s.cfg.KernelThreads
 	if kt <= 0 {
 		kt = armci.DefaultKernelThreads(s.cfg.NProcs)
+	}
+	clusterNodes, clusterTransport := 0, ""
+	if s.cpool != nil {
+		clusterNodes = s.cpool.Nodes()
+		clusterTransport = s.cfg.ClusterTransport
+		if clusterTransport == "" {
+			clusterTransport = "unix"
+		}
 	}
 	writeJSON(w, http.StatusOK, InfoResponse{
 		NProcs:        s.cfg.NProcs,
@@ -561,6 +657,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:    s.cfg.CacheEntries,
 		CacheBytes:      s.cfg.CacheBytes,
 		CacheTTLSeconds: s.cfg.CacheTTL.Seconds(),
+
+		ClusterNodes:     clusterNodes,
+		ClusterTransport: clusterTransport,
 	})
 }
 
@@ -681,6 +780,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	route := routeSRUMMA
 	if d.M*d.N*d.K <= s.cfg.SmallMNK || s.cfg.NProcs == 1 {
 		route = routeSmall
+	}
+	if route == routeSRUMMA && s.cpool != nil {
+		// Cluster mode: the distributed tier runs on the node pool.
+		route = routeCluster
 	}
 	env.route = route
 	// Circuit breaker: an open route fails fast with a cooldown hint
@@ -930,8 +1033,11 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, env
 	}
 
 	job := &schedJob{req: req, cs: cs, d: d, ctx: ctx, traced: traced}
-	if route == routeSRUMMA {
+	switch route {
+	case routeSRUMMA:
 		job.rec = s.newRecoverJob(s.cfg.ABFT && !brownout)
+	case routeCluster:
+		job.crec = s.newClusterRecover(s.cfg.ABFT && !brownout)
 	}
 
 	// Register the job BEFORE Submit: once submitted, the task can dispatch
@@ -995,11 +1101,15 @@ func (s *Server) handleSchedMultiply(w http.ResponseWriter, r *http.Request, env
 		if errors.As(err, &werr) {
 			sawWatchdog = true
 		}
-		if err == nil || job.rec == nil || attempt >= s.cfg.RetryBudget || !retryableRunError(err) {
+		if err == nil || (job.rec == nil && job.crec == nil) || attempt >= s.cfg.RetryBudget || !retryableRunError(err) {
 			break
 		}
 		t0 := time.Now()
-		s.met.noteRetry(job.rec.prepareRetry())
+		if job.crec != nil {
+			s.met.noteRetry(job.crec.resumedTasks())
+		} else {
+			s.met.noteRetry(job.rec.prepareRetry())
+		}
 		if s.rec != nil {
 			s.rec.RecordWall(s.cfg.NProcs, obs.KindRecover, t0, time.Now())
 		}
