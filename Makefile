@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke ipc-smoke cluster-smoke verify repro chaos chaos-serve bench-recover fuzz clean
+.PHONY: all build test race cover bench bench-kernel bench-serve bench-sched serve-smoke trace-smoke ipc-smoke cluster-smoke hier-smoke bench-hier multihost-smoke verify repro chaos chaos-serve bench-recover fuzz clean
 
 all: build test
 
@@ -126,6 +126,33 @@ ipc-smoke:
 # rather than restarted. Coordinator and every worker run under -race.
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterServe' ./internal/server
+
+# Hierarchical (two-level) multiplication gate, race-enabled: a two-group
+# run on the sim and ipc engines. The property tests pin hier-vs-flat
+# BIT-identity across all four transpose cases on the armci and ipc
+# engines, the sim test pins measured remote volume == the analytic
+# per-level prediction for both paths, the serving tests cover the hier
+# route end to end including the kill-one-group chaos resume, and the
+# flat-vs-hier volume sweep must still find its crossover.
+hier-smoke:
+	$(GO) test -race -count=1 ./internal/hier
+	$(GO) test -race -count=1 -run 'TestHierIPCBitIdentical' ./internal/ipcrt
+	$(GO) test -race -count=1 -run 'TestHierServe' ./internal/server
+	$(GO) run ./cmd/srumma-bench -hier -quick | grep -q 'crossover: hierarchical volume strictly beats flat'
+	@echo "hier-smoke: PASS (two-level bit-identical to flat on armci+ipc under -race, volume crossover reproduced)"
+
+# Flat-vs-hierarchical P sweep on the virtual-time engine, recorded to
+# BENCH_hier.json (measured remote bytes exactly equal the analytic
+# per-level volumes, or the sweep fails).
+bench-hier:
+	$(GO) run ./cmd/srumma-bench -hier -hier-out BENCH_hier.json
+
+# Two-host deployment recipe: coordinator + external srumma-worker -join
+# ranks over TCP on localhost (the same wiring split across real
+# containers), cross-host overlap ratio merged into BENCH_trace.json
+# under the "multihost" key.
+multihost-smoke:
+	sh scripts/multihost-trace.sh
 
 # Cross-algorithm numerical correctness sweep on the real engine.
 verify:

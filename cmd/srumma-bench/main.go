@@ -51,6 +51,8 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced sweeps (smaller N and P)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of tables")
+	hierSweep := flag.Bool("hier", false, "run the flat-vs-hierarchical P sweep on the virtual-time engine")
+	hierOut := flag.String("hier-out", "", "also write the -hier sweep document (BENCH_hier.json schema) to this file")
 	engine := flag.String("engine", "", `"ipc": run the multi-process engine bit-identity benchmark`)
 	np := flag.Int("np", 4, "worker process count (with -engine ipc)")
 	ppn := flag.Int("ppn", 2, "worker processes per emulated node (with -engine ipc)")
@@ -276,6 +278,29 @@ func main() {
 				return err
 			}
 			emit("chaos", rows, bench.FormatChaos(n, procs, rows))
+			return nil
+		})
+	}
+	if *hierSweep {
+		run("hier", func() error {
+			n, procsList := 512, []int{4, 16, 36, 64}
+			if *quick {
+				n, procsList = 256, []int{4, 16}
+			}
+			doc, err := bench.HierSweep(machine.LinuxMyrinet(), n, procsList)
+			if err != nil {
+				return err
+			}
+			emit("hier", doc, bench.FormatHier(doc))
+			if *hierOut != "" {
+				buf, err := json.MarshalIndent(map[string]any{"hier_sweep": doc}, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*hierOut, append(buf, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
 			return nil
 		})
 	}

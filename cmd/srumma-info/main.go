@@ -19,9 +19,12 @@ import (
 
 	"srumma/internal/armci"
 	"srumma/internal/bench"
+	"srumma/internal/core"
+	"srumma/internal/hier"
 	"srumma/internal/ipcrt"
 	"srumma/internal/machine"
 	"srumma/internal/mat"
+	"srumma/internal/rt"
 )
 
 func main() {
@@ -104,6 +107,31 @@ func show(p machine.Profile) {
 		fmt.Printf("    %6d %16.4g %16.4g\n", procs,
 			bench.PredictSRUMMA(p, 2000, procs, false),
 			bench.PredictSRUMMA(p, 2000, procs, true))
+	}
+
+	// The two-level carving the hierarchical planner would choose on this
+	// platform: groups x intra-group shape, with the predicted per-level
+	// communication volume next to the flat pipeline's.
+	fmt.Printf("  two-level topology (chosen by hier.Choose), N=2000:\n")
+	fmt.Printf("    %6s %10s %12s %14s %14s %14s\n",
+		"P", "grid", "groups", "flat remote", "outer remote", "band copies")
+	for _, procs := range []int{4, 16, 64} {
+		topo := rt.Topology{
+			NProcs:             procs,
+			ProcsPerNode:       p.ProcsPerNode,
+			DomainSpansMachine: p.DomainSpansMachine,
+		}
+		d := core.Dims{M: 2000, N: 2000, K: 2000}
+		ht, err := hier.Choose(topo, d, hier.Options{})
+		if err != nil {
+			fmt.Printf("    %6d  unavailable: %v\n", procs, err)
+			continue
+		}
+		gr, gc := ht.GroupShape(0)
+		v := hier.PredictVolumes(ht, d, hier.Options{})
+		fmt.Printf("    %6d %10s %6d x %dx%d %14d %14d %14d\n",
+			procs, fmt.Sprintf("%dx%d", ht.Grid.P, ht.Grid.Q),
+			ht.NumGroups(), gr, gc, v.FlatRemote, v.OuterRemote, v.InnerCopy)
 	}
 	fmt.Println()
 }

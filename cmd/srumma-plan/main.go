@@ -18,6 +18,7 @@ import (
 
 	"srumma/internal/core"
 	"srumma/internal/grid"
+	"srumma/internal/hier"
 	"srumma/internal/rt"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	noshift := flag.Bool("noshift", false, "disable the diagonal-shift ordering")
 	nosharedfirst := flag.Bool("nosharedfirst", false, "disable shared-memory-first ordering")
 	maxK := flag.Int("maxk", 0, "task-granularity cap along k (0 = whole blocks)")
+	hierOn := flag.Bool("hier", false, "also print the two-level (hierarchical) topology and outer panel schedule")
 	flag.Parse()
 
 	var cs core.Case
@@ -117,5 +119,40 @@ func main() {
 			}
 		}
 		fmt.Printf("  rank %3d -> node %d\n", r, target)
+	}
+
+	if *hierOn {
+		printHier(topo, g, *rank, d, opts)
+	}
+}
+
+// printHier reports the two-level carving: the group grid, this rank's
+// group and intra-group shape, the predicted communication volume per
+// level (outer staged gets vs the flat pipeline's), and the rank's group
+// panel schedule in outer (group-level diagonal-shifted) order.
+func printHier(topo rt.Topology, g *grid.Grid, rank int, d core.Dims, opts core.Options) {
+	ht := hier.From(topo, g)
+	fmt.Printf("\ntwo-level topology:\n")
+	if err := ht.Validate(); err != nil {
+		fmt.Printf("  hierarchical mode unavailable: %v\n", err)
+		return
+	}
+	grp := ht.GroupOf(rank)
+	gr, gc := ht.GroupShape(grp)
+	lo, hi := ht.GroupRanks(grp)
+	fmt.Printf("  %d groups x %d ranks; rank %d in group %d (ranks %d..%d), intra-group shape %dx%d\n",
+		ht.NumGroups(), hi-lo, rank, grp, lo, hi-1, gr, gc)
+
+	v := hier.PredictVolumes(ht, d, hier.Options{Options: opts})
+	fmt.Printf("  predicted comm volume (elements):\n")
+	fmt.Printf("    flat:  %12d remote  %12d shared\n", v.FlatRemote, v.FlatShared)
+	fmt.Printf("    hier:  %12d remote (outer staged)  %12d shared  %12d band copies (inner)\n",
+		v.OuterRemote, v.OuterShared, v.InnerCopy)
+
+	panels := hier.Schedule(ht, grp, d, hier.Options{Options: opts})
+	fmt.Printf("  group %d outer panel schedule (%d panels):\n", grp, len(panels))
+	for i, p := range panels {
+		fmt.Printf("    panel %2d: owner group %2d, %3d regions, %9d elements\n",
+			i, p.OwnerGroup, len(p.Regions), p.Elems)
 	}
 }

@@ -83,6 +83,8 @@ func main() {
 	clusterTransport := flag.String("cluster-transport", "", `node RMA transport: "unix" (default) or "tcp"`)
 	clusterListen := flag.String("listen", "", `fixed "host:port" for the node coordinators' TCP control listeners (node i binds port+i; the addresses srumma-worker -join dials; implies -cluster-transport tcp)`)
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "idle-node health-check period (0: 2s; negative: off)")
+	hierOn := flag.Bool("hier", false, "hierarchical routing mode: two-level multiply, outer SUMMA panels across rank groups, inner SRUMMA within each group")
+	hierGroup := flag.Int("hier-group", 0, "ranks per hierarchical group (0: one group per shared-memory domain; must nest in domains)")
 	flag.Parse()
 
 	ppnEff := *ppn
@@ -125,6 +127,8 @@ func main() {
 		ClusterTransport: *clusterTransport,
 		ClusterListen:    strings.TrimPrefix(*clusterListen, "tcp:"),
 		ClusterHeartbeat: *clusterHeartbeat,
+		Hier:             *hierOn,
+		HierGroup:        *hierGroup,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,6 +153,10 @@ func main() {
 				log.Printf("cluster: node %d control listener %s (srumma-worker -join target)", nd.ID, nd.CoordAddr)
 			}
 		}
+	}
+	if *hierOn {
+		info := s.Metrics()
+		log.Printf("hierarchical: %d group(s), intra-group shape %s", info.HierGroups, info.HierGroupShape)
 	}
 	log.Printf("default kernel threads/rank: %d", armci.DefaultKernelThreads(*nprocs))
 

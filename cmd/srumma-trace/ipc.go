@@ -25,17 +25,44 @@ import (
 	"srumma/internal/simrt"
 )
 
+// ipcOpts carries the multi-host knobs from the flag surface: transport
+// choice, a fixed control listener, and no-spawn mode where every rank is
+// an external srumma-worker -join (possibly on another host/container).
+type ipcOpts struct {
+	Transport string
+	Listen    string
+	NoSpawn   bool
+	Dir       string
+}
+
 // runIPC runs one traced multiply on the multi-process engine: every rank
 // is an OS process, intra-node operands ride mmap segments, cross-node
-// operands the unix-socket RMA protocol.
-func runIPC(g *grid.Grid, d core.Dims, procs, ppn, width int, blocking, noshift bool, chrome string, flops float64) ([]obs.Event, float64) {
+// operands the socket RMA protocol (unix default, tcp for multi-host).
+func runIPC(g *grid.Grid, d core.Dims, procs, ppn, width int, blocking, noshift bool, chrome string, flops float64, io ipcOpts) ([]obs.Event, float64) {
 	if ppn <= 0 {
 		ppn = procs
 	}
 	if !ipcrt.Available() {
 		log.Fatal("the ipc engine is unavailable on this platform (no mmap shared segments)")
 	}
-	cl, err := ipcrt.Launch(ipcrt.Config{NP: procs, PPN: ppn})
+	if io.Listen != "" && io.Transport == "" {
+		io.Transport = "tcp"
+	}
+	if io.NoSpawn {
+		if io.Listen == "" || io.Dir == "" {
+			log.Fatal("-no-spawn needs -listen and -dir (external workers dial the listener and share the run directory)")
+		}
+		fmt.Printf("waiting for %d external workers; on each host run (ranks r=0..%d):\n", procs, procs-1)
+		fmt.Printf("  srumma-worker -join tcp:%s -rank $r -np %d -ppn %d -dir %s -transport %s\n\n",
+			io.Listen, procs, ppn, io.Dir, io.Transport)
+	}
+	cl, err := ipcrt.Launch(ipcrt.Config{
+		NP: procs, PPN: ppn,
+		Transport:  io.Transport,
+		ListenAddr: strings.TrimPrefix(io.Listen, "tcp:"),
+		NoSpawn:    io.NoSpawn,
+		Dir:        io.Dir,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -90,6 +90,14 @@ type traceDoc struct {
 
 	Chaos bool   `json:"chaos,omitempty"`
 	Seed  uint64 `json:"seed,omitempty"`
+
+	// Transport and ExternalWorkers record a multi-host ipc run: the RMA
+	// transport in use and how many ranks joined as EXTERNAL workers
+	// (srumma-worker -join from another container/host) rather than being
+	// spawned by this coordinator. A nonzero count means the overlap
+	// ratio above was measured across a real host boundary.
+	Transport       string `json:"transport,omitempty"`
+	ExternalWorkers int    `json:"external_workers,omitempty"`
 }
 
 func main() {
@@ -107,10 +115,15 @@ func main() {
 	noshift := flag.Bool("noshift", false, "disable the diagonal-shift ordering")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	out := flag.String("out", "BENCH_trace.json", "write a machine-readable run summary here (empty: skip)")
+	outKey := flag.String("key", "", `merge the run summary into -out under this top-level key instead of overwriting the file (e.g. -key multihost keeps the committed sweep alongside)`)
 	validate := flag.String("validate", "", "validate a Chrome trace-event JSON file and exit")
 	chaos := flag.Bool("chaos", false, "inject deterministic faults into the simulated fabric (drops, delays, one straggler)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed (with -chaos)")
 	minOverlap := flag.Float64("min-overlap", 0, "fail unless the measured overlap ratio reaches this floor (0: no gate)")
+	transport := flag.String("transport", "", `ipc engine RMA transport: "unix" (default) or "tcp" (required for multi-host)`)
+	listen := flag.String("listen", "", `bind the ipc coordinator's TCP control listener at "host:port" (implies -transport tcp); with -no-spawn this is the address srumma-worker -join dials`)
+	noSpawn := flag.Bool("no-spawn", false, "do not spawn workers: wait for -procs external srumma-worker -join processes (multi-host mode; needs -listen and -dir)")
+	runDir := flag.String("dir", "", "shared run directory for ipc segment files and RMA sockets (default: a fresh temp dir; -no-spawn workers must pass the same -dir)")
 	sweep := flag.Bool("sweep", false, "run the measured-vs-modeled overlap sweep (block sizes x ppn) instead of one trace")
 	sweepNs := flag.String("sweep-n", "192,320,448", "comma-separated matrix sizes for -sweep (block size = n / grid dim)")
 	sweepPPNs := flag.String("sweep-ppn", "1,2,4", "comma-separated ranks-per-node values for -sweep")
@@ -169,8 +182,16 @@ func main() {
 		if *alg != "srumma" {
 			log.Fatalf("-engine ipc runs the srumma algorithm only (got %q)", *alg)
 		}
-		events, wall = runIPC(g, d, *procs, *ppn, *width, *blocking, *noshift, *chrome, flops)
+		io := ipcOpts{Transport: *transport, Listen: *listen, NoSpawn: *noSpawn, Dir: *runDir}
+		if io.Listen != "" && io.Transport == "" {
+			io.Transport = "tcp"
+		}
+		events, wall = runIPC(g, d, *procs, *ppn, *width, *blocking, *noshift, *chrome, flops, io)
 		doc.PPN = *ppn
+		doc.Transport = io.Transport
+		if *noSpawn {
+			doc.ExternalWorkers = *procs
+		}
 	default:
 		log.Fatalf("unknown engine %q (want sim, real or ipc)", *engine)
 	}
@@ -191,7 +212,25 @@ func main() {
 	doc.OverlapFloor = *minOverlap
 	doc.BusySeconds = obs.Summary(events)
 	if *out != "" {
-		buf, err := json.MarshalIndent(doc, "", "  ")
+		var payload any = doc
+		if *outKey != "" {
+			// Keyed write: fold this run into the existing document (the
+			// committed BENCH_trace.json keeps its sweep while a multihost
+			// run lands beside it).
+			merged := map[string]json.RawMessage{}
+			if data, err := os.ReadFile(*out); err == nil {
+				if err := json.Unmarshal(data, &merged); err != nil {
+					log.Fatalf("-key %s: %s is not a JSON object: %v", *outKey, *out, err)
+				}
+			}
+			raw, err := json.Marshal(doc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			merged[*outKey] = raw
+			payload = merged
+		}
+		buf, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"srumma/internal/driver"
 	"srumma/internal/fox"
 	"srumma/internal/grid"
+	"srumma/internal/hier"
 	"srumma/internal/machine"
 	"srumma/internal/pdgemm"
 	"srumma/internal/rt"
@@ -22,6 +23,7 @@ import (
 // Algorithm names accepted by MatmulConfig.
 const (
 	AlgSRUMMA = "srumma"
+	AlgHier   = "hier"
 	AlgPdgemm = "pdgemm"
 	AlgSUMMA  = "summa"
 	AlgCannon = "cannon"
@@ -85,7 +87,7 @@ func RunMatmul(cfg MatmulConfig) (MatmulResult, error) {
 
 	body := func(c rt.Ctx) {
 		switch cfg.Alg {
-		case AlgSRUMMA:
+		case AlgSRUMMA, AlgHier:
 			opts := core.Options{
 				Case:            cfg.Case,
 				Flavor:          flavorFor(cfg.Platform),
@@ -102,7 +104,12 @@ func RunMatmul(cfg MatmulConfig) (MatmulResult, error) {
 			gb := driver.AllocBlock(c, db)
 			gc := driver.AllocBlock(c, dc)
 			t0 := c.Now()
-			if err := core.Multiply(c, g, cfg.Dims, opts, ga, gb, gc); err != nil {
+			if cfg.Alg == AlgHier {
+				ht := hier.From(c.Topo(), g)
+				if err := hier.Multiply(c, ht, cfg.Dims, hier.Options{Options: opts}, ga, gb, gc); err != nil {
+					panic(err)
+				}
+			} else if err := core.Multiply(c, g, cfg.Dims, opts, ga, gb, gc); err != nil {
 				panic(err)
 			}
 			durations[c.Rank()] = c.Now() - t0

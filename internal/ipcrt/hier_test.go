@@ -1,0 +1,58 @@
+package ipcrt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"srumma/internal/core"
+	"srumma/internal/rt"
+)
+
+// TestHierIPCBitIdentical crosses both axes of the hierarchical gate at
+// once: the hierarchical path on the multi-process engine (groups = the
+// emulated worker nodes) must produce bit-identical C blocks to the FLAT
+// path on the in-process armci engine, for all four transpose cases. Any
+// divergence in the outer staging, the band handoff, or the inner
+// executor's operand bytes shows up here.
+func TestHierIPCBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run in -short mode")
+	}
+	topo := rt.Topology{NProcs: 4, ProcsPerNode: 2}
+	cl := launchCluster(t, topo.NProcs, topo.ProcsPerNode)
+
+	for _, cs := range []core.Case{core.NN, core.TN, core.NT, core.TT} {
+		t.Run(cs.String(), func(t *testing.T) {
+			spec := DefaultSpec(72, 60, 84)
+			spec.Case = int(cs)
+			spec.Beta = -0.25
+			spec.MaxTaskK = 17
+			spec.ReturnC = true
+			spec.KernelThreads = 1
+			spec.Hier = true
+
+			results, err := cl.RunJob(spec, 2*time.Minute)
+			if err != nil {
+				t.Fatalf("RunJob: %v", err)
+			}
+			flat := *spec
+			flat.Hier = false
+			want := armciBlocks(t, topo, &flat)
+			for rank, res := range results {
+				if res.Err != "" {
+					t.Fatalf("rank %d: %s", rank, res.Err)
+				}
+				if len(res.C) != len(want[rank]) {
+					t.Fatalf("rank %d: C block has %d elements, flat armci has %d", rank, len(res.C), len(want[rank]))
+				}
+				for i := range res.C {
+					if math.Float64bits(res.C[i]) != math.Float64bits(want[rank][i]) {
+						t.Fatalf("rank %d element %d: hier ipc %v != flat armci %v (bit difference)",
+							rank, i, res.C[i], want[rank][i])
+					}
+				}
+			}
+		})
+	}
+}

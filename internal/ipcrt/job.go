@@ -7,6 +7,7 @@ import (
 	"srumma/internal/driver"
 	"srumma/internal/faults"
 	"srumma/internal/grid"
+	"srumma/internal/hier"
 	"srumma/internal/mat"
 	"srumma/internal/mp"
 	"srumma/internal/obs"
@@ -52,6 +53,13 @@ type JobSpec struct {
 	NoDiagonalShift bool
 	KernelThreads   int
 	MaxTaskK        int
+	// Hier routes the job through the hierarchical two-level path
+	// (internal/hier): groups of ranks stage their outer panels once per
+	// group, bit-identical to the flat path. HierGroup overrides the group
+	// size (0 = one group per emulated shared-memory domain, i.e. per
+	// worker node — how internal/cluster maps groups onto nodes).
+	Hier      bool
+	HierGroup int
 	// ReturnC ships each rank's C block back in its RankResult.
 	ReturnC bool
 	// Trace attaches a per-worker obs.Recorder; events come back in the
@@ -234,7 +242,15 @@ func RunBodyEx(c rt.Ctx, spec *JobSpec, salv *Salvage) ([]float64, int, int, err
 			}
 		}()
 	}
-	if err := core.MultiplyEx(c, g, d, opts, spec.Alpha, spec.Beta, ga, gb, gc); err != nil {
+	if spec.Hier {
+		topo := c.Topo()
+		topo.GroupSize = spec.HierGroup
+		err = hier.MultiplyEx(c, hier.From(topo, g), d, hier.Options{Options: opts},
+			spec.Alpha, spec.Beta, ga, gb, gc)
+	} else {
+		err = core.MultiplyEx(c, g, d, opts, spec.Alpha, spec.Beta, ga, gb, gc)
+	}
+	if err != nil {
 		return nil, 0, 0, fmt.Errorf("rank %d: %w", me, err)
 	}
 	out := c.ReadBuf(c.Local(gc), 0, rows*cols)

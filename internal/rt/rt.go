@@ -196,12 +196,23 @@ type Stats = obs.Meters
 // domains. On clusters a domain is an SMP node; on the SGI Altix and Cray X1
 // the paper treats the whole machine as one domain even though the hardware
 // is built from small bricks, so the two notions are kept separate.
+//
+// A third, logical level sits on top: ranks are partitioned into GROUPS of
+// GroupSize consecutive ranks. Groups are the unit of the hierarchical
+// two-level multiplication (internal/hier): the outer level schedules panel
+// movement between groups, the inner level is a flat SRUMMA team inside
+// each group. GroupSize == 0 means "groups coincide with shared-memory
+// domains", the natural default; an explicit GroupSize lets a planner carve
+// a large domain into several groups.
 type Topology struct {
 	NProcs       int
 	ProcsPerNode int
 	// DomainSpansMachine marks scalable shared-memory systems where every
 	// rank can load/store (or memcpy) any other rank's segment.
 	DomainSpansMachine bool
+	// GroupSize is the number of consecutive ranks per logical group, or 0
+	// when groups are the shared-memory domains themselves.
+	GroupSize int
 }
 
 // Validate checks the topology is usable.
@@ -211,6 +222,9 @@ func (t Topology) Validate() error {
 	}
 	if t.ProcsPerNode <= 0 {
 		return fmt.Errorf("rt: %d procs per node", t.ProcsPerNode)
+	}
+	if t.GroupSize < 0 {
+		return fmt.Errorf("rt: %d group size", t.GroupSize)
 	}
 	return nil
 }
@@ -233,6 +247,55 @@ func (t Topology) DomainOf(rank int) int {
 
 // SameDomain reports whether two ranks share a memory domain.
 func (t Topology) SameDomain(a, b int) bool { return t.DomainOf(a) == t.DomainOf(b) }
+
+// groupSize resolves GroupSize: an unset (0) group size means groups are
+// the shared-memory domains — the whole machine when the domain spans it,
+// one node otherwise.
+func (t Topology) groupSize() int {
+	if t.GroupSize > 0 {
+		return t.GroupSize
+	}
+	if t.DomainSpansMachine {
+		return t.NProcs
+	}
+	return t.ProcsPerNode
+}
+
+// GroupOf returns the logical group of rank.
+func (t Topology) GroupOf(rank int) int { return rank / t.groupSize() }
+
+// SameGroup reports whether two ranks belong to the same logical group.
+func (t Topology) SameGroup(a, b int) bool { return t.GroupOf(a) == t.GroupOf(b) }
+
+// NumGroups returns the number of logical groups (the last may be partial).
+func (t Topology) NumGroups() int {
+	gs := t.groupSize()
+	return (t.NProcs + gs - 1) / gs
+}
+
+// GroupRanks returns the rank range [lo, hi) of group g.
+func (t Topology) GroupRanks(g int) (lo, hi int) {
+	gs := t.groupSize()
+	lo = g * gs
+	hi = lo + gs
+	if hi > t.NProcs {
+		hi = t.NProcs
+	}
+	return lo, hi
+}
+
+// GroupsNestInDomains reports whether every group fits inside one
+// shared-memory domain — the precondition for the hierarchical path's
+// staged bands to be readable by direct load/store within a group.
+func (t Topology) GroupsNestInDomains() bool {
+	for g := 0; g < t.NumGroups(); g++ {
+		lo, hi := t.GroupRanks(g)
+		if !t.SameDomain(lo, hi-1) {
+			return false
+		}
+	}
+	return true
+}
 
 // Ctx is the per-process runtime handle. All methods are called from the
 // process's own goroutine. Element counts are float64 elements; engines

@@ -97,6 +97,16 @@ type Config struct {
 	// MaxAttempts bounds dispatches per task before it is failed with
 	// ErrRetriesExhausted (default 3).
 	MaxAttempts int
+	// GroupsPerWorker declares how many rank groups each worker engine
+	// hosts (hierarchical mode: an engine's ranks are carved into SUMMA
+	// groups, see internal/hier). The scheduler does not change its
+	// dispatch decisions on it — a worker is still the dispatch unit —
+	// but the elastic pool doubles as the group manager: growing or
+	// shrinking by one worker adds or retires GroupsPerWorker groups,
+	// and the live group count is exported as the "sched.groups" gauge
+	// and Scheduler.Groups(). 0 means flat mode (one implicit group per
+	// worker is NOT assumed; the gauge stays 0).
+	GroupsPerWorker int
 	// NewWorker creates a pool worker (required).
 	NewWorker func() (Worker, error)
 	// Exec runs one dispatch — a locality-sorted batch of one class, or a
@@ -175,6 +185,7 @@ type Scheduler struct {
 	// take the registry lock.
 	reg      *obs.Registry
 	inflight *obs.Gauge // admitted and not yet finished
+	groups   *obs.Gauge // live rank groups (workers * GroupsPerWorker)
 
 	submitted       *obs.Counter
 	rejected        *obs.Counter
@@ -214,6 +225,7 @@ func New(cfg Config) (*Scheduler, error) {
 		stop:            make(chan struct{}),
 		reg:             reg,
 		inflight:        reg.Gauge("sched.in_flight"),
+		groups:          reg.Gauge("sched.groups"),
 		submitted:       reg.Counter("sched.submitted"),
 		rejected:        reg.Counter("sched.rejected"),
 		completed:       reg.Counter("sched.completed"),
@@ -248,6 +260,7 @@ func New(cfg Config) (*Scheduler, error) {
 		initial = append(initial, w)
 	}
 	s.workers = len(initial)
+	s.syncGroupsLocked()
 	for _, w := range initial {
 		s.wg.Add(1)
 		go s.runWorker(w)
@@ -265,6 +278,12 @@ func (s *Scheduler) Workers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.workers
+}
+
+// Groups returns the live rank-group count under group management
+// (Workers() * GroupsPerWorker; 0 in flat mode).
+func (s *Scheduler) Groups() int {
+	return int(s.groups.Load())
 }
 
 // Queued returns the number of admitted tasks waiting for dispatch.
@@ -327,8 +346,18 @@ func (s *Scheduler) resizeLocked() {
 
 func (s *Scheduler) spawnLocked() {
 	s.workers++
+	s.syncGroupsLocked()
 	s.wg.Add(1)
 	go s.runWorker(nil)
+}
+
+// syncGroupsLocked keeps the group-manager gauge in step with the pool:
+// every worker hosts GroupsPerWorker rank groups, so pool elasticity IS
+// group elasticity.
+func (s *Scheduler) syncGroupsLocked() {
+	if s.cfg.GroupsPerWorker > 0 {
+		s.groups.Set(int64(s.workers * s.cfg.GroupsPerWorker))
+	}
 }
 
 // taskFinished is the single accounting point for settled tasks. It may
@@ -567,6 +596,7 @@ func (s *Scheduler) tryShrink() bool {
 		return false
 	}
 	s.workers--
+	s.syncGroupsLocked()
 	s.shrunk.Add(1)
 	return true
 }

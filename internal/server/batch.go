@@ -26,6 +26,7 @@ import (
 
 	"srumma/internal/armci"
 	"srumma/internal/core"
+	"srumma/internal/hier"
 	"srumma/internal/mat"
 	"srumma/internal/rt"
 	"srumma/internal/sched"
@@ -68,8 +69,14 @@ func locKey(cs core.Case, d core.Dims) uint64 {
 }
 
 // newScheduler builds the workload scheduler over a pool of persistent
-// teams.
+// teams. In hierarchical mode each team's ranks are carved into SUMMA
+// groups, so the elastic pool doubles as the group manager: its
+// GroupsPerWorker tells the scheduler how many groups one team hosts.
 func (s *Server) newScheduler() (*sched.Scheduler, error) {
+	groupsPerWorker := 0
+	if s.cfg.Hier {
+		groupsPerWorker = hier.From(s.topo, s.g).NumGroups()
+	}
 	return sched.New(sched.Config{
 		MinWorkers:  s.cfg.Teams,
 		MaxWorkers:  s.cfg.MaxTeams,
@@ -84,9 +91,10 @@ func (s *Server) newScheduler() (*sched.Scheduler, error) {
 		// One registry backs the whole service: the scheduler's "sched.*"
 		// instruments live next to the serving layer's "server.*" ones, and
 		// its queue-wait/batch spans land on the recorder's sched lane.
-		Metrics:   s.met.reg,
-		Trace:     s.rec,
-		TraceLane: s.cfg.NProcs + 1,
+		Metrics:         s.met.reg,
+		Trace:           s.rec,
+		TraceLane:       s.cfg.NProcs + 1,
+		GroupsPerWorker: groupsPerWorker,
 		NewWorker: func() (sched.Worker, error) {
 			tm, err := armci.NewTeam(s.topo)
 			if err != nil {

@@ -149,6 +149,13 @@ func (s *Server) runCluster(job *schedJob) (*mat.Matrix, error) {
 		spec.ABFT = true
 		spec.ABFTTol = s.cfg.ABFTTol
 	}
+	if s.cfg.Hier {
+		// Hierarchical routing mode: the worker ranks run the two-level
+		// multiply with groups mapped onto the emulated domains — i.e. one
+		// group per worker node (JobSpec.HierGroup 0 keeps that default).
+		spec.Hier = true
+		spec.HierGroup = s.cfg.HierGroup
+	}
 
 	class := req.Class
 	if class == "" {

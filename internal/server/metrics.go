@@ -83,6 +83,13 @@ type MetricsSnapshot struct {
 	// Cluster is the node pool's supervision view (omitted outside cluster
 	// mode): per-node health, job counts, and replacements.
 	Cluster []cluster.NodeStats `json:"cluster,omitempty"`
+
+	// HierGroups/HierGroupShape describe the two-level topology in
+	// hierarchical routing mode (omitted when flat): how many SUMMA
+	// groups the engine grid is carved into and the intra-group grid
+	// shape "RxC".
+	HierGroups     int    `json:"hier_groups,omitempty"`
+	HierGroupShape string `json:"hier_group_shape,omitempty"`
 }
 
 // RecoveryStats is the recovery slice of a metrics snapshot.

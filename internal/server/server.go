@@ -43,6 +43,7 @@ import (
 	"srumma/internal/driver"
 	"srumma/internal/faults"
 	"srumma/internal/grid"
+	"srumma/internal/hier"
 	"srumma/internal/ipcrt"
 	"srumma/internal/mat"
 	"srumma/internal/obs"
@@ -163,6 +164,19 @@ type Config struct {
 	// TraceSample requests records handler and engine spans (requires
 	// TraceEvents > 0). 0 or 1 keeps always-on tracing.
 	TraceSample int
+
+	// Hier routes distributed SRUMMA requests through the hierarchical
+	// two-level path (internal/hier): ranks are carved into groups —
+	// shared-memory domains by default, HierGroup consecutive ranks when
+	// set — and each remote operand region is staged ONCE per group before
+	// the flat executor runs, cutting inter-node volume while staying
+	// bit-identical to the flat path. Applies to the in-process teams and
+	// to the cluster route (where groups map onto worker nodes). The
+	// ledger/salvage recovery machinery is unchanged: the hierarchical
+	// path runs the same grid and task lists, so resumed retries work
+	// identically.
+	Hier      bool
+	HierGroup int
 
 	// Cluster shards the SRUMMA route across OS-process worker nodes: an
 	// internal/cluster pool of ClusterNodes nodes (each NProcs ranks, PPN
@@ -355,9 +369,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo := rt.Topology{NProcs: cfg.NProcs, ProcsPerNode: cfg.ProcsPerNode, DomainSpansMachine: cfg.ProcsPerNode >= cfg.NProcs}
+	topo := rt.Topology{NProcs: cfg.NProcs, ProcsPerNode: cfg.ProcsPerNode,
+		DomainSpansMachine: cfg.ProcsPerNode >= cfg.NProcs, GroupSize: cfg.HierGroup}
 	if err := topo.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Hier {
+		// Fail fast on a group carving the staged-band handoff cannot
+		// serve, instead of erroring every request.
+		if err := hier.From(topo, g).Validate(); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:  cfg,
@@ -413,6 +435,8 @@ func New(cfg Config) (*Server, error) {
 			JobTimeout:     cfg.MaxTimeout,
 			HeartbeatEvery: cfg.ClusterHeartbeat,
 			Metrics:        s.met.reg,
+			Hier:           cfg.Hier,
+			HierGroup:      cfg.HierGroup,
 		})
 		if err != nil {
 			return nil, err
@@ -474,6 +498,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 		cs := s.cache.stats()
 		cs.BlockDedup = s.blocks.dedupCount()
 		snap.Cache = &cs
+	}
+	if s.cfg.Hier {
+		ht := hier.From(s.topo, s.g)
+		snap.HierGroups = ht.NumGroups()
+		gr, gc := ht.GroupShape(0)
+		snap.HierGroupShape = fmt.Sprintf("%dx%d", gr, gc)
 	}
 	return snap
 }
@@ -624,6 +654,11 @@ type InfoResponse struct {
 	// transport of the sharded distributed tier (zero nodes = in-process).
 	ClusterNodes     int    `json:"cluster_nodes,omitempty"`
 	ClusterTransport string `json:"cluster_transport,omitempty"`
+	// Hierarchical routing mode: the two-level topology the planner
+	// decided (group count and intra-group shape on the composite grid).
+	Hier           bool   `json:"hier,omitempty"`
+	HierGroups     int    `json:"hier_groups,omitempty"`
+	HierGroupShape string `json:"hier_group_shape,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -638,6 +673,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		if clusterTransport == "" {
 			clusterTransport = "unix"
 		}
+	}
+	var hierGroups int
+	var hierShape string
+	if s.cfg.Hier {
+		ht := hier.From(s.topo, s.g)
+		hierGroups = ht.NumGroups()
+		gr, gc := ht.GroupShape(0)
+		hierShape = fmt.Sprintf("%dx%d", gr, gc)
 	}
 	writeJSON(w, http.StatusOK, InfoResponse{
 		NProcs:        s.cfg.NProcs,
@@ -660,6 +703,10 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 		ClusterNodes:     clusterNodes,
 		ClusterTransport: clusterTransport,
+
+		Hier:           s.cfg.Hier,
+		HierGroups:     hierGroups,
+		HierGroupShape: hierShape,
 	})
 }
 
@@ -1390,7 +1437,15 @@ func (s *Server) runSRUMMA(ctx context.Context, tm *armci.Team, req *MultiplyReq
 		} else if cIn != nil {
 			driver.LoadBlock(c, dc, gc, cIn)
 		}
-		errs[rank] = core.MultiplyEx(c, s.g, d, cOpts, req.alpha(), req.beta(), ga, gb, gc)
+		if s.cfg.Hier {
+			// Hierarchical routing mode: same grid, same task lists, same
+			// ledger/salvage semantics — only the data movement changes, so
+			// the retry/resume policy above needs no adjustment.
+			errs[rank] = hier.MultiplyEx(c, hier.From(s.topo, s.g), d,
+				hier.Options{Options: cOpts}, req.alpha(), req.beta(), ga, gb, gc)
+		} else {
+			errs[rank] = core.MultiplyEx(c, s.g, d, cOpts, req.alpha(), req.beta(), ga, gb, gc)
+		}
 		co.Deposit(c, driver.StoreBlock(c, dc, gc))
 	})
 	if s.met != nil {

@@ -79,6 +79,45 @@ const (
 	tagB = 8200
 )
 
+// ScheduleOrder is the reusable core of SUMMA's communication schedule: the
+// processing order of n panel steps given the broadcast root of each step.
+// With dimma false it is the identity (van de Geijn & Watts' ascending-k
+// SUMMA). With dimma true it applies Choi's DIMMA (IPPS'97) regrouping —
+// steps sorted stably by root so each root streams its panels back to back —
+// with the root sequence additionally rotated by rot (mod nRoots), the
+// diagonal-shift stagger SRUMMA applies per requester (paper Figure 4).
+//
+// SUMMA itself calls it with grid columns as roots and rot 0; the
+// hierarchical outer level (internal/hier) reuses it with GROUPS as roots
+// and rot = the requesting group's index, so at any outer step each group
+// serves roughly one other group instead of all groups draining the same
+// owner.
+func ScheduleOrder(n int, root func(step int) int, nRoots, rot int, dimma bool) []int {
+	order := make([]int, 0, n)
+	if !dimma || nRoots <= 0 {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	for r := 0; r < nRoots; r++ {
+		want := (r + rot) % nRoots
+		for i := 0; i < n; i++ {
+			if root(i) == want {
+				order = append(order, i)
+			}
+		}
+	}
+	// Steps whose root falls outside [0, nRoots) would otherwise be dropped;
+	// keep them at the tail in original order so the schedule stays total.
+	for i := 0; i < n; i++ {
+		if r := root(i); r < 0 || r >= nRoots {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
 // Multiply runs SUMMA collectively: C = op(A) op(B) with the operands
 // block-distributed per Dists. C is overwritten.
 func Multiply(c rt.Ctx, g *grid.Grid, d Dims, opts Options, ga, gb, gc rt.Global) error {
@@ -169,13 +208,10 @@ func Multiply(c rt.Ctx, g *grid.Grid, d Dims, opts Options, ga, gb, gc rt.Global
 		// Group panels by their A-broadcast root column so each root streams
 		// its panels back to back (stable within a group, so k stays
 		// ascending per root).
+		order := ScheduleOrder(len(panels), func(i int) int { return panels[i].ocA }, g.Q, 0, true)
 		grouped := make([]panel, 0, len(panels))
-		for oc := 0; oc < g.Q; oc++ {
-			for _, p := range panels {
-				if p.ocA == oc {
-					grouped = append(grouped, p)
-				}
-			}
+		for _, i := range order {
+			grouped = append(grouped, panels[i])
 		}
 		panels = grouped
 	}
